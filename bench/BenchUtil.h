@@ -1,0 +1,46 @@
+//===- bench/BenchUtil.h - Shared bench harness helpers ---------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared helpers for the table/figure regeneration binaries: scale
+/// selection via argv/env and consistent row printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_BENCH_BENCHUTIL_H
+#define DAECC_BENCH_BENCHUTIL_H
+
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace dae {
+namespace bench {
+
+/// Full scale by default; `--test-scale` (or DAECC_TEST_SCALE=1) shrinks the
+/// inputs so the whole suite runs in seconds (used by ctest smoke runs).
+inline workloads::Scale scaleFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--test-scale") == 0)
+      return workloads::Scale::Test;
+  const char *Env = std::getenv("DAECC_TEST_SCALE");
+  if (Env && Env[0] == '1')
+    return workloads::Scale::Test;
+  return workloads::Scale::Full;
+}
+
+inline void printRule(int Width = 78) {
+  for (int I = 0; I != Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace dae
+
+#endif // DAECC_BENCH_BENCHUTIL_H

@@ -1,0 +1,78 @@
+//===- bench/micro_codegen.cpp - Access generation microbenchmarks ----------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for compile-time access-phase
+/// generation: full generateAccessPhase throughput per workload task kind
+/// (affine polyhedral synthesis vs. skeleton cloning+marking), plus the
+/// interpreter's simulated-instruction throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dae/AccessGenerator.h"
+#include "runtime/Runtime.h"
+#include "workloads/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dae;
+using namespace dae::workloads;
+
+namespace {
+
+void benchGeneration(benchmark::State &State, const char *Name) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto W = buildByName(Name, Scale::Test);
+    const ir::Function *TaskFn = W->Tasks.front().Execute;
+    State.ResumeTiming();
+    AccessPhaseResult R = generateAccessPhase(
+        *W->M, *const_cast<ir::Function *>(TaskFn), W->Opts);
+    benchmark::DoNotOptimize(R.AccessFn);
+  }
+}
+
+void BM_GenerateAffine_LU(benchmark::State &State) {
+  benchGeneration(State, "lu");
+}
+BENCHMARK(BM_GenerateAffine_LU)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateAffine_Cholesky(benchmark::State &State) {
+  benchGeneration(State, "cholesky");
+}
+BENCHMARK(BM_GenerateAffine_Cholesky)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateSkeleton_FFT(benchmark::State &State) {
+  benchGeneration(State, "fft");
+}
+BENCHMARK(BM_GenerateSkeleton_FFT)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateSkeleton_LBM(benchmark::State &State) {
+  benchGeneration(State, "lbm");
+}
+BENCHMARK(BM_GenerateSkeleton_LBM)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateWorkload_CG(benchmark::State &State) {
+  auto W = buildByName("cg", Scale::Test);
+  sim::MachineConfig Cfg;
+  sim::Loader L(*W->M);
+  std::uint64_t Instr = 0;
+  for (auto _ : State) {
+    sim::Memory Mem;
+    W->Init(Mem, L);
+    runtime::TaskRuntime RT(Cfg, Mem, L);
+    runtime::RunProfile P = RT.execute(W->Tasks, /*RunAccess=*/false);
+    Instr += P.totalExecute().Instructions;
+    benchmark::DoNotOptimize(P.Tasks.size());
+  }
+  State.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(Instr), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateWorkload_CG)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

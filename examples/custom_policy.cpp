@@ -1,0 +1,64 @@
+//===- examples/custom_policy.cpp - Exploring DVFS policies -----------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Uses the evaluator as a design-space tool: for the LibQ workload, sweeps
+// every (access f, execute f) pair on the ladder and prints the EDP surface,
+// marking the naive Min/Max point and the per-phase Optimal-EDP policy's
+// result — showing how close the paper's simple policies get to the best
+// fixed split.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+#include <cstdio>
+
+using namespace dae;
+using namespace dae::harness;
+
+int main() {
+  auto W = workloads::buildLibQuantum(workloads::Scale::Full);
+  sim::MachineConfig Cfg;
+  AppResult R = runApp(*W, Cfg);
+  runtime::RunReport Base = runtime::evaluateCoupled(R.Cae, Cfg, Cfg.fmax());
+
+  std::printf("LibQ: EDP (normalized to CAE@fmax) over the "
+              "(access f, execute f) grid\n\n%10s", "acc\\exec");
+  for (double FE : Cfg.FrequenciesGHz)
+    std::printf("%9.1f", FE);
+  std::printf("\n");
+
+  double BestEdp = 1e30, BestFA = 0, BestFE = 0;
+  for (double FA : Cfg.FrequenciesGHz) {
+    std::printf("%10.1f", FA);
+    for (double FE : Cfg.FrequenciesGHz) {
+      runtime::EvalConfig E;
+      E.Policy = runtime::FreqPolicy::Fixed;
+      E.AccessFreqGHz = FA;
+      E.ExecFreqGHz = FE;
+      runtime::RunReport Rep = runtime::evaluate(R.Auto, Cfg, E);
+      if (Rep.EdpJs < BestEdp) {
+        BestEdp = Rep.EdpJs;
+        BestFA = FA;
+        BestFE = FE;
+      }
+      std::printf("%9.3f", Rep.EdpJs / Base.EdpJs);
+    }
+    std::printf("\n");
+  }
+
+  runtime::EvalConfig Opt;
+  Opt.Policy = runtime::FreqPolicy::OptimalEdp;
+  runtime::RunReport OptRep = runtime::evaluate(R.Auto, Cfg, Opt);
+
+  std::printf("\nbest fixed split: access %.1f GHz / execute %.1f GHz "
+              "-> %.3f x CAE@fmax\n",
+              BestFA, BestFE, BestEdp / Base.EdpJs);
+  std::printf("per-phase Optimal-EDP policy (section 3.1(b)): %.3f x "
+              "CAE@fmax\n",
+              OptRep.EdpJs / Base.EdpJs);
+  return 0;
+}

@@ -1,0 +1,225 @@
+//===- analysis/ScalarEvolution.cpp - Affine expression analysis ----------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ScalarEvolution.h"
+
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dae;
+using namespace dae::analysis;
+using namespace dae::ir;
+
+AffineExpr AffineExpr::operator+(const AffineExpr &R) const {
+  AffineExpr Res = *this;
+  Res.Const += R.Const;
+  for (const auto &[L, C] : R.IVCoeffs) {
+    Res.IVCoeffs[L] += C;
+    if (Res.IVCoeffs[L] == 0)
+      Res.IVCoeffs.erase(L);
+  }
+  for (const auto &[P, C] : R.ParamCoeffs) {
+    Res.ParamCoeffs[P] += C;
+    if (Res.ParamCoeffs[P] == 0)
+      Res.ParamCoeffs.erase(P);
+  }
+  return Res;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &R) const {
+  return *this + R.scaled(-1);
+}
+
+AffineExpr AffineExpr::scaled(std::int64_t Factor) const {
+  AffineExpr Res;
+  if (Factor == 0)
+    return Res;
+  Res.Const = Const * Factor;
+  for (const auto &[L, C] : IVCoeffs)
+    Res.IVCoeffs[L] = C * Factor;
+  for (const auto &[P, C] : ParamCoeffs)
+    Res.ParamCoeffs[P] = C * Factor;
+  return Res;
+}
+
+std::string AffineExpr::str() const {
+  std::string S;
+  auto Append = [&S](std::int64_t C, const std::string &Name) {
+    if (C == 0)
+      return;
+    if (!S.empty())
+      S += C > 0 ? " + " : " - ";
+    else if (C < 0)
+      S += "-";
+    std::int64_t A = C < 0 ? -C : C;
+    if (A != 1)
+      S += std::to_string(A) + "*";
+    S += Name;
+  };
+  for (const auto &[L, C] : IVCoeffs)
+    Append(C, L->getInductionVariable()
+                  ? L->getInductionVariable()->getName()
+                  : "iv?");
+  for (const auto &[P, C] : ParamCoeffs)
+    Append(C, P->getName().empty() ? "param" : P->getName());
+  if (Const != 0 || S.empty()) {
+    if (!S.empty())
+      S += Const > 0 ? " + " : " - ";
+    S += std::to_string(S.empty() ? Const : (Const < 0 ? -Const : Const));
+  }
+  return S;
+}
+
+std::vector<const Value *> AffineAccess::paramSignature() const {
+  std::vector<const Value *> Sig;
+  for (const AffineExpr &E : Indices)
+    for (const auto &[P, C] : E.ParamCoeffs)
+      if (std::find(Sig.begin(), Sig.end(), P) == Sig.end())
+        Sig.push_back(P);
+  return Sig;
+}
+
+ScalarEvolution::ScalarEvolution(const Function &F, const LoopInfo &LI)
+    : F(F), LI(LI) {}
+
+std::optional<AffineExpr> ScalarEvolution::getAffine(const Value *V) {
+  return computeAffine(V, 0);
+}
+
+std::optional<AffineExpr> ScalarEvolution::computeAffine(const Value *V,
+                                                         unsigned Depth) {
+  if (Depth > 64)
+    return std::nullopt; // Defensive recursion cap.
+  auto It = Cache.find(V);
+  if (It != Cache.end())
+    return It->second;
+
+  auto Memo = [&](std::optional<AffineExpr> E) {
+    Cache[V] = E;
+    return E;
+  };
+
+  if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+    AffineExpr E;
+    E.Const = CI->getValue();
+    return Memo(E);
+  }
+
+  if (const auto *Arg = dyn_cast<Argument>(V)) {
+    if (Arg->getType() != Type::Int64)
+      return Memo(std::nullopt);
+    AffineExpr E;
+    E.ParamCoeffs[Arg] = 1;
+    return Memo(E);
+  }
+
+  if (const auto *Phi = dyn_cast<PhiInst>(V)) {
+    // Only canonical induction variables with step 1 (the affine generator's
+    // domain construction assumes unit stride, matching the paper's codes).
+    Loop *L = LI.getLoopFor(Phi->getParent());
+    while (L && L->getInductionVariable() != Phi)
+      L = L->getParent();
+    if (!L || L->getStep() != 1)
+      return Memo(std::nullopt);
+    AffineExpr E;
+    E.IVCoeffs[L] = 1;
+    return Memo(E);
+  }
+
+  const auto *Bin = dyn_cast<BinaryInst>(V);
+  if (!Bin)
+    return Memo(std::nullopt);
+
+  auto LHS = computeAffine(Bin->getLHS(), Depth + 1);
+  auto RHS = computeAffine(Bin->getRHS(), Depth + 1);
+  if (!LHS || !RHS)
+    return Memo(std::nullopt);
+
+  switch (Bin->getOpcode()) {
+  case BinOp::Add:
+    return Memo(*LHS + *RHS);
+  case BinOp::Sub:
+    return Memo(*LHS - *RHS);
+  case BinOp::Mul:
+    if (RHS->isConstant())
+      return Memo(LHS->scaled(RHS->Const));
+    if (LHS->isConstant())
+      return Memo(RHS->scaled(LHS->Const));
+    return Memo(std::nullopt);
+  case BinOp::Shl:
+    if (RHS->isConstant() && RHS->Const >= 0 && RHS->Const < 62)
+      return Memo(LHS->scaled(std::int64_t(1) << RHS->Const));
+    return Memo(std::nullopt);
+  default:
+    return Memo(std::nullopt);
+  }
+}
+
+std::optional<AffineAccess>
+ScalarEvolution::getAccess(const Instruction *MemInst) {
+  Value *Ptr = nullptr;
+  bool IsWrite = false;
+  if (const auto *L = dyn_cast<LoadInst>(MemInst)) {
+    Ptr = L->getPointer();
+  } else if (const auto *S = dyn_cast<StoreInst>(MemInst)) {
+    Ptr = S->getPointer();
+    IsWrite = true;
+  } else if (const auto *P = dyn_cast<PrefetchInst>(MemInst)) {
+    Ptr = P->getPointer();
+  } else {
+    return std::nullopt;
+  }
+
+  const auto *Gep = dyn_cast<GepInst>(Ptr);
+  if (!Gep)
+    return std::nullopt;
+  Value *Base = Gep->getBase();
+  if (!isa<GlobalVariable>(Base) &&
+      !(isa<Argument>(Base) && Base->getType() == Type::Ptr))
+    return std::nullopt;
+
+  AffineAccess Acc;
+  Acc.MemInst = MemInst;
+  Acc.Gep = Gep;
+  Acc.Base = Base;
+  Acc.DimSizes = Gep->getDimSizes();
+  Acc.ElemSize = Gep->getElemSize();
+  Acc.IsWrite = IsWrite;
+  for (unsigned I = 0; I != Gep->getNumIndices(); ++I) {
+    auto E = getAffine(Gep->getIndex(I));
+    if (!E)
+      return std::nullopt;
+    Acc.Indices.push_back(*E);
+  }
+  return Acc;
+}
+
+std::optional<AffineLoopBounds> ScalarEvolution::getLoopBounds(const Loop *L) {
+  if (!L->isCanonical() || L->getStep() != 1)
+    return std::nullopt;
+  auto Lower = getAffine(L->getStartValue());
+  auto Upper = getAffine(L->getBound());
+  if (!Lower || !Upper)
+    return std::nullopt;
+  // Bounds may reference outer IVs (triangular loops) but not the loop's own
+  // IV or inner IVs.
+  for (const auto *B : {&*Lower, &*Upper})
+    for (const auto &[Dep, C] : B->IVCoeffs) {
+      (void)C;
+      for (const Loop *Outer = Dep; Outer; Outer = Outer->getParent())
+        if (Outer == L)
+          return std::nullopt;
+    }
+  AffineLoopBounds Bounds;
+  Bounds.L = L;
+  Bounds.Lower = *Lower;
+  Bounds.Upper = *Upper;
+  return Bounds;
+}

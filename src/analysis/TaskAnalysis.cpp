@@ -1,0 +1,169 @@
+//===- analysis/TaskAnalysis.cpp - Task classification --------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TaskAnalysis.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/ScalarEvolution.h"
+#include "ir/Function.h"
+#include "support/Casting.h"
+
+#include <set>
+
+using namespace dae;
+using namespace dae::analysis;
+using namespace dae::ir;
+
+const char *analysis::taskClassName(TaskClass C) {
+  switch (C) {
+  case TaskClass::Affine:
+    return "affine";
+  case TaskClass::Skeleton:
+    return "skeleton";
+  case TaskClass::Rejected:
+    return "rejected";
+  }
+  return "?";
+}
+
+bool analysis::addressComputationReadsTaskStores(const Function &F) {
+  // Collect base arrays the task stores to.
+  std::set<const Value *> StoredBases;
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      if (const auto *St = dyn_cast<StoreInst>(I.get()))
+        if (const auto *Gep = dyn_cast<GepInst>(St->getPointer()))
+          StoredBases.insert(Gep->getBase());
+
+  if (StoredBases.empty())
+    return false;
+
+  // Mark the backward slice of every address operand and of every *loop
+  // exit* condition; if that slice contains a load from a stored-to base,
+  // the access version's addresses or loop trip counts would depend on
+  // writes it does not perform (section 5.2.2 step 5). Conditions of
+  // branches *inside* loop bodies are exempt: the access phase is a
+  // speculative prefetch, a stale in-body branch merely mis-prefetches
+  // (and the Simplified-CFG optimization usually removes it anyway) —
+  // this is what admits libquantum-style read-test-flip kernels.
+  LoopInfo LI(F);
+  std::vector<const Instruction *> Work;
+  std::set<const Instruction *> Visited;
+  auto Push = [&](const Value *V) {
+    if (const auto *I = dyn_cast<Instruction>(V))
+      if (Visited.insert(I).second)
+        Work.push_back(I);
+  };
+
+  for (const auto &BB : F)
+    for (const auto &I : *BB) {
+      if (const auto *Ld = dyn_cast<LoadInst>(I.get()))
+        Push(Ld->getPointer());
+      else if (const auto *St = dyn_cast<StoreInst>(I.get()))
+        Push(St->getPointer());
+      else if (const auto *Pf = dyn_cast<PrefetchInst>(I.get()))
+        Push(Pf->getPointer());
+      else if (const auto *Br = dyn_cast<BrInst>(I.get())) {
+        if (!Br->isConditional())
+          continue;
+        Loop *L = LI.getLoopFor(BB.get());
+        bool IsLoopExit =
+            L && L->contains(Br->getTrueDest()) !=
+                     L->contains(Br->getFalseDest());
+        bool OutsideLoops = !L;
+        if (IsLoopExit || OutsideLoops)
+          Push(Br->getCondition());
+      }
+    }
+
+  while (!Work.empty()) {
+    const Instruction *I = Work.back();
+    Work.pop_back();
+    if (const auto *Ld = dyn_cast<LoadInst>(I))
+      if (const auto *Gep = dyn_cast<GepInst>(Ld->getPointer()))
+        if (StoredBases.count(Gep->getBase()))
+          return true;
+    for (const Value *Op : I->operands())
+      Push(Op);
+  }
+  return false;
+}
+
+TaskClassification analysis::classifyTask(const Function &F) {
+  TaskClassification Result;
+
+  LoopInfo LI(F);
+  Result.TotalLoops = static_cast<unsigned>(LI.loops().size());
+
+  // Step 1 (section 5.2.2): remaining calls mean the inliner failed.
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      if (isa<CallInst>(I.get())) {
+        Result.Class = TaskClass::Rejected;
+        Result.Reason = "task contains a non-inlined call";
+        return Result;
+      }
+
+  // Step 5: address/control computation must not require writes to state
+  // visible outside the task.
+  if (addressComputationReadsTaskStores(F)) {
+    Result.Class = TaskClass::Rejected;
+    Result.Reason =
+        "address computation reads memory the task writes (external state)";
+    return Result;
+  }
+
+  // Affinity: every conditional branch is a canonical loop exit test, every
+  // loop has affine bounds, and every memory access is affine.
+  ScalarEvolution SE(F, LI);
+
+  bool Affine = true;
+  std::string Why;
+
+  for (const auto &BB : F) {
+    const auto *Br = dyn_cast_if_present<BrInst>(BB->getTerminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    Loop *L = LI.getLoopFor(BB.get());
+    if (!L || L->getHeader() != BB.get()) {
+      Affine = false;
+      Why = "data-dependent control flow in '" + BB->getName() + "'";
+      break;
+    }
+  }
+
+  for (const auto &LPtr : LI.loops()) {
+    if (!SE.getLoopBounds(LPtr.get()) && Affine) {
+      Affine = false;
+      Why = "loop bounds are not affine";
+    }
+  }
+
+  if (Affine) {
+    for (const auto &BB : F) {
+      for (const auto &I : *BB) {
+        if (!isa<LoadInst, StoreInst>(I.get()))
+          continue;
+        if (!SE.getAccess(I.get())) {
+          Affine = false;
+          Why = "non-affine memory access";
+          break;
+        }
+      }
+      if (!Affine)
+        break;
+    }
+  }
+
+  // Table 1 counts "loops handled with the polyhedral approach": all of the
+  // task's loops when the task is affine, none otherwise (the polyhedral
+  // generator is all-or-nothing per task).
+  Result.AffineLoops = Affine ? Result.TotalLoops : 0;
+  Result.Class = Affine ? TaskClass::Affine : TaskClass::Skeleton;
+  Result.Reason = Why;
+  return Result;
+}

@@ -1,0 +1,61 @@
+//===- analysis/TaskAnalysis.h - Task classification ------------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies a task for access-phase generation, implementing the paper's
+/// compile-time code classification (section 5): affine tasks go to the
+/// polyhedral generator, non-affine tasks to the skeleton generator, and
+/// tasks that fail the safety conditions of section 3.1 (non-inlinable
+/// calls; address/control computation that writes externally visible state)
+/// are rejected and run coupled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_ANALYSIS_TASKANALYSIS_H
+#define DAECC_ANALYSIS_TASKANALYSIS_H
+
+#include <string>
+
+namespace dae {
+namespace ir {
+class Function;
+}
+
+namespace analysis {
+
+/// Which access-generation strategy applies to a task.
+enum class TaskClass {
+  /// All loops and accesses are affine: polyhedral access generation.
+  Affine,
+  /// Not affine but safe to skeletonize (section 5.2).
+  Skeleton,
+  /// No access version can be generated; run coupled (CAE).
+  Rejected,
+};
+
+const char *taskClassName(TaskClass C);
+
+/// Result of classifying one task function.
+struct TaskClassification {
+  TaskClass Class = TaskClass::Rejected;
+  std::string Reason; ///< Why the task was rejected / demoted to skeleton.
+  unsigned TotalLoops = 0;
+  unsigned AffineLoops = 0; ///< Loops handled with the polyhedral approach.
+};
+
+/// Classifies \p F. Expects the inliner to have run; any remaining call
+/// makes the task Rejected (paper section 5.2.2, step 1).
+TaskClassification classifyTask(const ir::Function &F);
+
+/// True if \p F stores to a memory location that address or control-flow
+/// computation may later read (conservative, per base array). This is the
+/// rejection condition of section 5.2.2 step 5.
+bool addressComputationReadsTaskStores(const ir::Function &F);
+
+} // namespace analysis
+} // namespace dae
+
+#endif // DAECC_ANALYSIS_TASKANALYSIS_H

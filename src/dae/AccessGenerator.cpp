@@ -1,0 +1,62 @@
+//===- dae/AccessGenerator.cpp - DAE access-phase generation ---------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dae/AccessGenerator.h"
+
+#include "analysis/TaskAnalysis.h"
+#include "dae/AffineGenerator.h"
+#include "dae/SkeletonGenerator.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "passes/Passes.h"
+
+#include <cassert>
+
+using namespace dae;
+using namespace dae::analysis;
+using namespace dae::ir;
+
+AccessPhaseResult dae::generateAccessPhase(Module &M, Function &Task,
+                                           const DaeOptions &Opts) {
+  // One of the two advantages the paper claims for the compiler approach:
+  // the access phase is derived from the *optimized* execute code (inlining
+  // included), leading to leaner access phases than a programmer starting
+  // from unoptimized source can write.
+  if (!passes::allCallsInlinable(Task)) {
+    AccessPhaseResult Result;
+    Result.Strategy = TaskClass::Rejected;
+    Result.Notes = "task contains a call that cannot be inlined";
+    return Result;
+  }
+  passes::optimizeFunction(Task);
+
+  TaskClassification Cls = classifyTask(Task);
+  if (Cls.Class == TaskClass::Rejected) {
+    AccessPhaseResult Result;
+    Result.Strategy = TaskClass::Rejected;
+    Result.Notes = Cls.Reason;
+    return Result;
+  }
+
+  AccessPhaseResult Result;
+  if (Cls.Class == TaskClass::Affine) {
+    Result = generateAffineAccess(M, Task, Opts);
+    if (Result.AccessFn)
+      passes::optimizeFunction(*Result.AccessFn);
+  }
+  if (!Result.AccessFn) {
+    std::string AffineNote = Result.Notes;
+    Result = generateSkeletonAccess(M, Task, Opts);
+    if (!AffineNote.empty())
+      Result.Notes += " (affine path declined: " + AffineNote + ")";
+  }
+
+  if (Result.AccessFn) {
+    [[maybe_unused]] auto Problems = verifyFunction(*Result.AccessFn);
+    assert(Problems.empty() && "generated access phase fails verification");
+  }
+  return Result;
+}

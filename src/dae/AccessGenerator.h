@@ -1,0 +1,70 @@
+//===- dae/AccessGenerator.h - DAE access-phase generation ------*- C++ -*-===//
+//
+// Part of daecc, a reproduction of "Fix the code. Don't tweak the hardware"
+// (CGO 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution: given a task (the execute phase), emit
+/// a lightweight access phase that prefetches the data the task will touch.
+/// Affine tasks get a freshly synthesized minimal-depth prefetch loop nest
+/// from polyhedral analysis (section 5.1); non-affine tasks get an optimized
+/// skeleton clone (section 5.2); unsafe tasks are refused and run coupled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_DAE_ACCESSGENERATOR_H
+#define DAECC_DAE_ACCESSGENERATOR_H
+
+#include "analysis/TaskAnalysis.h"
+#include "dae/DaeOptions.h"
+
+#include <string>
+
+namespace dae {
+
+namespace ir {
+class Function;
+class Module;
+} // namespace ir
+
+/// Outcome of access-phase generation for one task.
+struct AccessPhaseResult {
+  /// The generated access function (same signature as the task), registered
+  /// in the module as "<task>.access". Null when generation was refused.
+  ir::Function *AccessFn = nullptr;
+
+  /// Strategy that produced the phase (Affine / Skeleton), or Rejected.
+  analysis::TaskClass Strategy = analysis::TaskClass::Rejected;
+
+  /// Human-readable diagnostics (refusal reason, decisions taken).
+  std::string Notes;
+
+  // --- Affine-path statistics (Table-/test-facing) ---
+
+  /// Number of lattice points touched by the original accesses (NOrig) and
+  /// contained in the accepted scan shapes (NconvUn), evaluated at the
+  /// representative parameters. -1 when not applicable.
+  long long NOrig = -1;
+  long long NConvUn = -1;
+  /// True when the convex-union guard accepted the hull for every class.
+  bool UsedConvexUnion = false;
+  /// Prefetch loop nests emitted after merging.
+  unsigned NumPrefetchNests = 0;
+  /// Access classes discovered (arrays x parameter signatures).
+  unsigned NumClasses = 0;
+
+  bool succeeded() const { return AccessFn != nullptr; }
+};
+
+/// Generates the access phase for \p Task into \p M. Runs the classical
+/// optimizer on the task first (inlining is required; see section 5.2.2
+/// step 1) — the task body itself is the execute phase and is not otherwise
+/// modified.
+AccessPhaseResult generateAccessPhase(ir::Module &M, ir::Function &Task,
+                                      const DaeOptions &Opts);
+
+} // namespace dae
+
+#endif // DAECC_DAE_ACCESSGENERATOR_H

@@ -1,0 +1,55 @@
+//===- dae/AffineGenerator.h - Polyhedral access synthesis ------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The affine path of the access generator (section 5.1): computes the exact
+/// per-instruction access sets as polyhedra in the array index space,
+/// partitions them into parameter-signature classes, takes the convex union
+/// per class guarded by the lattice-point count test NconvUn - th <= NOrig,
+/// merges class nests with matching trip counts, and synthesizes a
+/// minimal-depth prefetch loop nest with symbolic (parameter-dependent)
+/// bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_DAE_AFFINEGENERATOR_H
+#define DAECC_DAE_AFFINEGENERATOR_H
+
+#include "dae/AccessGenerator.h"
+#include "poly/Polyhedron.h"
+
+#include <optional>
+#include <vector>
+
+namespace dae {
+
+namespace ir {
+class Value;
+} // namespace ir
+
+namespace analysis {
+class ScalarEvolution;
+struct AffineAccess;
+} // namespace analysis
+
+/// Generates the affine access phase for \p Task. On failure (an access or
+/// bound turns out non-affine, or counting blows the limit) returns a result
+/// with AccessFn == null; the driver then falls back to the skeleton path.
+AccessPhaseResult generateAffineAccess(ir::Module &M, ir::Function &Task,
+                                       const DaeOptions &Opts);
+
+/// Exposed for unit tests: the image of \p Acc's iteration domain in array
+/// index space, over variables [0, D) = array indices and [D, D+M) = the
+/// task's integer parameters. Returns nullopt when the access or a
+/// surrounding loop bound is not affine.
+std::optional<poly::Polyhedron>
+computeAccessImage(const analysis::AffineAccess &Acc,
+                   analysis::ScalarEvolution &SE,
+                   const std::vector<const ir::Value *> &Params);
+
+} // namespace dae
+
+#endif // DAECC_DAE_AFFINEGENERATOR_H

@@ -1,0 +1,30 @@
+//===- dae/SkeletonGenerator.h - Skeleton access synthesis ------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-affine path (section 5.2): the access phase is an optimized clone
+/// of the task that keeps only memory-address computation and loop control
+/// flow. Implements the six-step marking algorithm of section 5.2.2 with the
+/// refinements of 5.2.1 (prefetch accompanies loads; stores discarded;
+/// per-address dedup) and the simplified-CFG optimization (5.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_DAE_SKELETONGENERATOR_H
+#define DAECC_DAE_SKELETONGENERATOR_H
+
+#include "dae/AccessGenerator.h"
+
+namespace dae {
+
+/// Generates the skeleton access phase for \p Task. Returns a null AccessFn
+/// with a reason in Notes when the safety conditions fail.
+AccessPhaseResult generateSkeletonAccess(ir::Module &M, ir::Function &Task,
+                                         const DaeOptions &Opts);
+
+} // namespace dae
+
+#endif // DAECC_DAE_SKELETONGENERATOR_H

@@ -1,0 +1,219 @@
+//===- harness/Harness.cpp - Paper experiment driver -------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+#include "analysis/TaskAnalysis.h"
+#include "passes/Passes.h"
+#include "sim/Interpreter.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <cassert>
+#include <set>
+
+using namespace dae;
+using namespace dae::harness;
+using namespace dae::runtime;
+using namespace dae::sim;
+using dae::workloads::Workload;
+
+namespace {
+
+/// Snapshot of the workload's output arrays.
+std::vector<std::uint8_t> snapshotOutputs(const Workload &W, Memory &Mem,
+                                          const Loader &L) {
+  std::vector<std::uint8_t> Bytes;
+  for (size_t G = 0; G != W.OutputGlobals.size(); ++G) {
+    std::uint64_t Base = L.baseOf(W.OutputGlobals[G]);
+    for (std::uint64_t Off = 0; Off != W.OutputSizes[G]; Off += 8) {
+      std::int64_t V = Mem.loadI64(Base + Off);
+      for (int B = 0; B != 8; ++B)
+        Bytes.push_back(static_cast<std::uint8_t>(V >> (8 * B)));
+    }
+  }
+  return Bytes;
+}
+
+/// Runs one scheme (fresh memory + init) and snapshots the outputs.
+RunProfile runScheme(const Workload &W, const std::vector<Task> &Tasks,
+                     const MachineConfig &Cfg, const Loader &L,
+                     std::vector<std::uint8_t> &OutBytes) {
+  Memory Mem;
+  W.Init(Mem, L);
+  TaskRuntime RT(Cfg, Mem, L);
+  RunProfile P = RT.execute(Tasks);
+  OutBytes = snapshotOutputs(W, Mem, L);
+  return P;
+}
+
+} // namespace
+
+AppResult harness::runApp(Workload &W, const MachineConfig &Cfg,
+                          const DaeOptions *OptsOverride) {
+  AppResult R;
+  R.Name = W.Name;
+
+  const DaeOptions &Opts = OptsOverride ? *OptsOverride : W.Opts;
+
+  // Distinct task functions, in first-use order.
+  std::vector<const ir::Function *> TaskFns;
+  for (const Task &T : W.Tasks)
+    if (std::find(TaskFns.begin(), TaskFns.end(), T.Execute) == TaskFns.end())
+      TaskFns.push_back(T.Execute);
+
+  // Generate the Auto DAE access phase per task function. Generation
+  // optimizes the task body first (shared by all schemes).
+  std::map<const ir::Function *, const ir::Function *> AutoAccess;
+  unsigned AffineLoops = 0, TotalLoops = 0;
+  for (const ir::Function *F : TaskFns) {
+    AccessPhaseResult G = generateAccessPhase(
+        *W.M, *const_cast<ir::Function *>(F), Opts);
+    if (G.AccessFn)
+      AutoAccess[F] = G.AccessFn;
+    analysis::TaskClassification Cls = analysis::classifyTask(*F);
+    AffineLoops += Cls.AffineLoops;
+    TotalLoops += Cls.TotalLoops;
+    R.Generation.push_back(std::move(G));
+  }
+
+  // Build the three task lists.
+  std::vector<Task> CaeTasks = W.Tasks;
+  std::vector<Task> ManualTasks = W.Tasks;
+  std::vector<Task> AutoTasks = W.Tasks;
+  for (size_t I = 0; I != W.Tasks.size(); ++I) {
+    CaeTasks[I].Access = nullptr;
+    auto MIt = W.ManualAccess.find(W.Tasks[I].Execute);
+    ManualTasks[I].Access = MIt == W.ManualAccess.end() ? nullptr
+                                                        : MIt->second;
+    auto AIt = AutoAccess.find(W.Tasks[I].Execute);
+    AutoTasks[I].Access = AIt == AutoAccess.end() ? nullptr : AIt->second;
+  }
+
+  // One simulation per scheme, each on freshly initialized data.
+  Loader L(*W.M);
+  std::vector<std::uint8_t> CaeOut, ManualOut, AutoOut;
+  R.Cae = runScheme(W, CaeTasks, Cfg, L, CaeOut);
+  R.Manual = runScheme(W, ManualTasks, Cfg, L, ManualOut);
+  R.Auto = runScheme(W, AutoTasks, Cfg, L, AutoOut);
+  R.OutputsMatch = CaeOut == ManualOut && CaeOut == AutoOut;
+
+  // Table 1 row, measured from the Auto DAE profile at the Min/Max policy
+  // (access at fmin as in the paper's TA methodology).
+  EvalConfig MinMax;
+  MinMax.Policy = FreqPolicy::Fixed;
+  MinMax.AccessFreqGHz = Cfg.fmin();
+  MinMax.ExecFreqGHz = Cfg.fmax();
+  MinMax.TransitionNs = 0.0;
+  RunReport Rep = evaluate(R.Auto, Cfg, MinMax);
+  R.Row.Name = W.Name;
+  R.Row.AffineLoops = AffineLoops;
+  R.Row.TotalLoops = TotalLoops;
+  R.Row.NumTasks = W.Tasks.size();
+  R.Row.AccessTimePercent = Rep.accessTimeFraction() * 100.0;
+  R.Row.AccessTimeUs = Rep.avgAccessUs();
+  return R;
+}
+
+runtime::RunReport harness::priceCaeMax(const AppResult &R,
+                                        const MachineConfig &Cfg,
+                                        double TransitionNs) {
+  return evaluateCoupled(R.Cae, Cfg, Cfg.fmax(), TransitionNs);
+}
+
+Fig3Row harness::priceFig3(const AppResult &R, const MachineConfig &Cfg,
+                           double TransitionNs) {
+  RunReport Base = priceCaeMax(R, Cfg, TransitionNs);
+
+  auto Norm = [&](const RunReport &Rep, double Out[3]) {
+    Out[0] = Rep.TimeSec / Base.TimeSec;
+    Out[1] = Rep.EnergyJ / Base.EnergyJ;
+    Out[2] = Rep.EdpJs / Base.EdpJs;
+  };
+
+  EvalConfig Opt;
+  Opt.Policy = FreqPolicy::OptimalEdp;
+  Opt.TransitionNs = TransitionNs;
+
+  EvalConfig MinMax;
+  MinMax.Policy = FreqPolicy::Fixed;
+  MinMax.AccessFreqGHz = Cfg.fmin();
+  MinMax.ExecFreqGHz = Cfg.fmax();
+  MinMax.TransitionNs = TransitionNs;
+
+  Fig3Row Row;
+  Row.Name = R.Name;
+  Norm(evaluate(R.Cae, Cfg, Opt), Row.CaeOpt);
+  Norm(evaluate(R.Manual, Cfg, MinMax), Row.ManualMinMax);
+  Norm(evaluate(R.Manual, Cfg, Opt), Row.ManualOpt);
+  Norm(evaluate(R.Auto, Cfg, MinMax), Row.AutoMinMax);
+  Norm(evaluate(R.Auto, Cfg, Opt), Row.AutoOpt);
+  return Row;
+}
+
+std::vector<Fig4Point> harness::priceFig4(const AppResult &R,
+                                          const MachineConfig &Cfg,
+                                          Scheme Which, double TransitionNs) {
+  const RunProfile &P = Which == Scheme::Cae      ? R.Cae
+                        : Which == Scheme::Manual ? R.Manual
+                                                  : R.Auto;
+  std::vector<Fig4Point> Series;
+  for (double F : Cfg.FrequenciesGHz) {
+    EvalConfig E;
+    E.Policy = FreqPolicy::Fixed;
+    // DAE: access pinned at fmin, execute swept (Figure 4's x axis); CAE:
+    // the whole task swept.
+    E.AccessFreqGHz = Which == Scheme::Cae ? F : Cfg.fmin();
+    E.ExecFreqGHz = F;
+    E.TransitionNs = TransitionNs;
+    RunReport Rep = evaluate(P, Cfg, E);
+
+    Fig4Point Pt;
+    Pt.FreqGHz = F;
+    Pt.PrefetchSec = Rep.AccessTimeSec;
+    Pt.TaskSec = Rep.ExecuteTimeSec;
+    Pt.OsiSec = Rep.OsiTimeSec;
+    // Energy split proportional to the per-bucket core time at that
+    // bucket's frequency; a faithful split would need per-phase bookkeeping,
+    // so approximate by time share (the buckets' power levels are close).
+    double TotalSec = Pt.PrefetchSec + Pt.TaskSec + Pt.OsiSec;
+    double Scale = TotalSec > 0.0 ? Rep.EnergyJ / TotalSec : 0.0;
+    Pt.PrefetchJ = Pt.PrefetchSec * Scale;
+    Pt.TaskJ = Pt.TaskSec * Scale;
+    Pt.OsiJ = Pt.OsiSec * Scale;
+    Series.push_back(Pt);
+  }
+  return Series;
+}
+
+std::set<const ir::Instruction *>
+harness::profileColdLoads(Workload &W, const MachineConfig &Cfg,
+                          double MissRateThreshold) {
+  // Match the generator's precondition: tasks are optimized before access
+  // phases are derived, so the profiled instruction identities are the ones
+  // the skeleton generator will clone.
+  std::set<const ir::Function *> TaskFns;
+  for (const Task &T : W.Tasks)
+    TaskFns.insert(T.Execute);
+  for (const ir::Function *F : TaskFns)
+    passes::optimizeFunction(*const_cast<ir::Function *>(F));
+
+  Loader L(*W.M);
+  Memory Mem;
+  W.Init(Mem, L);
+  CacheHierarchy Caches(Cfg, 1);
+  Interpreter Interp(Cfg, Mem, Caches, L);
+  std::map<const ir::Instruction *, LoadSiteStats> Stats;
+  Interp.setLoadStats(&Stats);
+  for (const Task &T : W.Tasks)
+    Interp.run(*T.Execute, 0, T.Args);
+
+  std::set<const ir::Instruction *> Cold;
+  for (const auto &[Inst, S] : Stats)
+    if (S.missRate() < MissRateThreshold)
+      Cold.insert(Inst);
+  return Cold;
+}

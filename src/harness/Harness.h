@@ -1,0 +1,112 @@
+//===- harness/Harness.h - Paper experiment driver --------------*- C++ -*-===//
+//
+// Part of daecc, a reproduction of "Fix the code. Don't tweak the hardware"
+// (CGO 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives one workload through the full pipeline: generate Auto DAE access
+/// phases, simulate the three schemes (CAE / Manual DAE / Auto DAE) once
+/// each, verify that all three produce bit-identical outputs (the access
+/// phase is a pure prefetch), and price every paper configuration from the
+/// profiles. One call yields everything Table 1, Figure 3, and Figure 4
+/// need for that application.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_HARNESS_HARNESS_H
+#define DAECC_HARNESS_HARNESS_H
+
+#include "dae/AccessGenerator.h"
+#include "runtime/Evaluator.h"
+#include "runtime/Runtime.h"
+#include "workloads/Workload.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dae {
+namespace harness {
+
+/// Table 1 row for one application.
+struct Table1Row {
+  std::string Name;
+  unsigned AffineLoops = 0;
+  unsigned TotalLoops = 0;
+  std::size_t NumTasks = 0;
+  double AccessTimePercent = 0.0; ///< TA%.
+  double AccessTimeUs = 0.0;      ///< TA (usec).
+};
+
+/// Everything measured for one application.
+struct AppResult {
+  std::string Name;
+
+  // Raw per-scheme profiles (one simulation each).
+  runtime::RunProfile Cae;
+  runtime::RunProfile Manual;
+  runtime::RunProfile Auto;
+
+  // Per-task-function generation results (diagnostics).
+  std::vector<AccessPhaseResult> Generation;
+
+  Table1Row Row;
+
+  /// True when CAE, Manual DAE and Auto DAE produced identical outputs.
+  bool OutputsMatch = false;
+};
+
+/// Figure 3 bars for one application at one transition latency, normalized
+/// to CAE at max frequency.
+struct Fig3Row {
+  std::string Name;
+  // [time, energy, edp] per configuration.
+  double CaeOpt[3];
+  double ManualMinMax[3];
+  double ManualOpt[3];
+  double AutoMinMax[3];
+  double AutoOpt[3];
+};
+
+/// Runs the full pipeline for one workload. \p Opts overrides the workload's
+/// generator options when non-null.
+AppResult runApp(workloads::Workload &W, const sim::MachineConfig &Cfg,
+                 const DaeOptions *OptsOverride = nullptr);
+
+/// Prices the Figure 3 configurations from \p R at \p TransitionNs.
+Fig3Row priceFig3(const AppResult &R, const sim::MachineConfig &Cfg,
+                  double TransitionNs);
+
+/// Per-frequency breakdown series for Figure 4: for each ladder frequency,
+/// the (Prefetch, Task, OSI) time and energy of one scheme.
+struct Fig4Point {
+  double FreqGHz;
+  double PrefetchSec, TaskSec, OsiSec;
+  double PrefetchJ, TaskJ, OsiJ;
+};
+enum class Scheme { Cae, Manual, Auto };
+std::vector<Fig4Point> priceFig4(const AppResult &R,
+                                 const sim::MachineConfig &Cfg,
+                                 Scheme Which, double TransitionNs);
+
+/// Helper: evaluates one profile under the paper's named configurations.
+runtime::RunReport priceCaeMax(const AppResult &R,
+                               const sim::MachineConfig &Cfg,
+                               double TransitionNs);
+
+/// Profile-guided selective prefetching (the paper's proposed refinement,
+/// sections 5.2.2/6.2.3): optimizes the workload's task functions, runs one
+/// instrumented coupled execution, and returns the loads whose DRAM miss
+/// rate stays below \p MissRateThreshold — candidates to skip when
+/// prefetching (pass the result via DaeOptions::ColdLoads).
+std::set<const ir::Instruction *>
+profileColdLoads(workloads::Workload &W, const sim::MachineConfig &Cfg,
+                 double MissRateThreshold = 0.02);
+
+} // namespace harness
+} // namespace dae
+
+#endif // DAECC_HARNESS_HARNESS_H

@@ -1,0 +1,80 @@
+//===- ir/BasicBlock.h - Task IR basic block --------------------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block owns its instructions. Successors come from the terminator;
+/// predecessors are recomputed on demand (blocks are few, tasks are small).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_IR_BASICBLOCK_H
+#define DAECC_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dae {
+namespace ir {
+
+class Function;
+
+/// A straight-line sequence of instructions ending in a terminator.
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+  ~BasicBlock();
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  Function *getParent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  /// Appends \p I (taking ownership) and returns it.
+  Instruction *append(std::unique_ptr<Instruction> I);
+  /// Inserts \p I (taking ownership) before position \p Pos.
+  Instruction *insertBefore(std::unique_ptr<Instruction> I, Instruction *Pos);
+  /// Unlinks and destroys \p I. The instruction must have no users.
+  void erase(Instruction *I);
+  /// Unlinks \p I and transfers ownership to the caller.
+  std::unique_ptr<Instruction> detach(Instruction *I);
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// Terminator, or null for an unfinished block.
+  Instruction *getTerminator() const;
+
+  /// Successor blocks, from the terminator.
+  std::vector<BasicBlock *> successors() const;
+  /// Predecessor blocks, recomputed by scanning the parent function.
+  std::vector<BasicBlock *> predecessors() const;
+
+  /// Phi nodes at the head of the block.
+  std::vector<PhiInst *> phis() const;
+
+  // Iteration over owned instructions.
+  using iterator = std::vector<std::unique_ptr<Instruction>>::const_iterator;
+  iterator begin() const { return Insts.begin(); }
+  iterator end() const { return Insts.end(); }
+
+private:
+  std::string Name;
+  Function *Parent = nullptr;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+} // namespace ir
+} // namespace dae
+
+#endif // DAECC_IR_BASICBLOCK_H

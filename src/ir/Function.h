@@ -1,0 +1,97 @@
+//===- ir/Function.h - Task IR function -------------------------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Function owns its blocks and arguments. Functions marked as tasks are
+/// the unit of the paper's transformation: the DAE generator derives an
+/// access-phase function from each task's (execute) body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_IR_FUNCTION_H
+#define DAECC_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dae {
+namespace ir {
+
+class Module;
+
+/// A function: arguments, a list of basic blocks, and task metadata.
+class Function {
+public:
+  Function(std::string Name, Type RetTy, std::vector<Type> ParamTys);
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+  /// Drops all cross-block operand uses before the blocks are destroyed.
+  ~Function();
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  Module *getParent() const { return Parent; }
+  void setParent(Module *M) { Parent = M; }
+
+  Type getReturnType() const { return RetTy; }
+
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *getArg(unsigned I) const { return Args[I].get(); }
+  const std::vector<std::unique_ptr<Argument>> &args() const { return Args; }
+
+  /// True if this function is a task body (the unit of DAE transformation).
+  bool isTask() const { return Task; }
+  void setTask(bool V) { Task = V; }
+
+  /// Marks a function the inliner must not inline (used to model the paper's
+  /// "task contains a function call which cannot be inlined" rejection path).
+  bool isNoInline() const { return NoInline; }
+  void setNoInline(bool V) { NoInline = V; }
+
+  /// Creates, appends, and returns a new block.
+  BasicBlock *createBlock(std::string BlockName);
+  /// Appends an existing block (taking ownership).
+  BasicBlock *appendBlock(std::unique_ptr<BasicBlock> BB);
+  /// Unlinks and destroys \p BB; its instructions must be dead already.
+  void eraseBlock(BasicBlock *BB);
+
+  BasicBlock *getEntry() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+
+  size_t size() const { return Blocks.size(); }
+  bool empty() const { return Blocks.empty(); }
+
+  using iterator = std::vector<std::unique_ptr<BasicBlock>>::const_iterator;
+  iterator begin() const { return Blocks.begin(); }
+  iterator end() const { return Blocks.end(); }
+
+  /// Total instruction count across all blocks.
+  size_t instructionCount() const;
+
+  /// Assigns printable names (%0, %1, ...) to unnamed values; used by the
+  /// printer and helpful in test failure output.
+  void renumberValues();
+
+private:
+  std::string Name;
+  Module *Parent = nullptr;
+  Type RetTy;
+  bool Task = false;
+  bool NoInline = false;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace ir
+} // namespace dae
+
+#endif // DAECC_IR_FUNCTION_H

@@ -1,0 +1,483 @@
+//===- ir/IR.cpp - Value/Instruction/BasicBlock/Function/Module -----------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace dae;
+using namespace dae::ir;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+Value::~Value() {
+  assert(Users.empty() && "value destroyed while still in use");
+}
+
+void Value::removeUser(Instruction *I) {
+  auto It = std::find(Users.begin(), Users.end(), I);
+  assert(It != Users.end() && "removing non-existent user");
+  Users.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "replacing a value with itself");
+  // Copy: setOperand mutates Users.
+  std::vector<Instruction *> Snapshot = Users;
+  for (Instruction *U : Snapshot)
+    for (unsigned I = 0, E = U->getNumOperands(); I != E; ++I)
+      if (U->getOperand(I) == this)
+        U->setOperand(I, New);
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction
+//===----------------------------------------------------------------------===//
+
+Instruction::~Instruction() {
+  assert(Operands.empty() && "instruction destroyed with live operands; "
+                             "call dropAllOperands first");
+}
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+void Instruction::setOperand(unsigned I, Value *V) {
+  assert(I < Operands.size() && "operand index out of range");
+  assert(V && "operand must not be null");
+  Operands[I]->removeUser(this);
+  Operands[I] = V;
+  V->addUser(this);
+}
+
+void Instruction::appendOperand(Value *V) {
+  assert(V && "operand must not be null");
+  Operands.push_back(V);
+  V->addUser(this);
+}
+
+void Instruction::dropAllOperands() {
+  for (Value *V : Operands)
+    V->removeUser(this);
+  Operands.clear();
+  if (auto *Phi = dyn_cast<PhiInst>(this))
+    Phi->Incoming.clear();
+}
+
+bool Instruction::hasSideEffects() const {
+  switch (getKind()) {
+  case ValueKind::InstStore:
+  case ValueKind::InstPrefetch:
+  case ValueKind::InstCall:
+  case ValueKind::InstBr:
+  case ValueKind::InstRet:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ir::isFloatBinOp(BinOp Op) {
+  switch (Op) {
+  case BinOp::FAdd:
+  case BinOp::FSub:
+  case BinOp::FMul:
+  case BinOp::FDiv:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *ir::binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "add";
+  case BinOp::Sub:
+    return "sub";
+  case BinOp::Mul:
+    return "mul";
+  case BinOp::SDiv:
+    return "sdiv";
+  case BinOp::SRem:
+    return "srem";
+  case BinOp::And:
+    return "and";
+  case BinOp::Or:
+    return "or";
+  case BinOp::Xor:
+    return "xor";
+  case BinOp::Shl:
+    return "shl";
+  case BinOp::AShr:
+    return "ashr";
+  case BinOp::FAdd:
+    return "fadd";
+  case BinOp::FSub:
+    return "fsub";
+  case BinOp::FMul:
+    return "fmul";
+  case BinOp::FDiv:
+    return "fdiv";
+  }
+  return "?";
+}
+
+const char *ir::cmpPredName(CmpPred P) {
+  switch (P) {
+  case CmpPred::EQ:
+    return "eq";
+  case CmpPred::NE:
+    return "ne";
+  case CmpPred::SLT:
+    return "slt";
+  case CmpPred::SLE:
+    return "sle";
+  case CmpPred::SGT:
+    return "sgt";
+  case CmpPred::SGE:
+    return "sge";
+  case CmpPred::FLT:
+    return "flt";
+  case CmpPred::FLE:
+    return "fle";
+  case CmpPred::FGT:
+    return "fgt";
+  case CmpPred::FGE:
+    return "fge";
+  case CmpPred::FEQ:
+    return "feq";
+  case CmpPred::FNE:
+    return "fne";
+  }
+  return "?";
+}
+
+const char *ir::castOpName(CastOp Op) {
+  switch (Op) {
+  case CastOp::SIToFP:
+    return "sitofp";
+  case CastOp::FPToSI:
+    return "fptosi";
+  case CastOp::PtrToInt:
+    return "ptrtoint";
+  case CastOp::IntToPtr:
+    return "inttoptr";
+  }
+  return "?";
+}
+
+Value *PhiInst::getIncomingValueForBlock(const BasicBlock *BB) const {
+  int Idx = getBlockIndex(BB);
+  assert(Idx >= 0 && "block is not an incoming edge of this phi");
+  return getIncomingValue(static_cast<unsigned>(Idx));
+}
+
+int PhiInst::getBlockIndex(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+    if (Incoming[I] == BB)
+      return static_cast<int>(I);
+  return -1;
+}
+
+void PhiInst::removeIncoming(unsigned I) {
+  assert(I < getNumIncoming() && "incoming index out of range");
+  std::vector<Value *> Vals;
+  std::vector<BasicBlock *> Blocks;
+  for (unsigned J = 0, E = getNumIncoming(); J != E; ++J) {
+    if (J == I)
+      continue;
+    Vals.push_back(getIncomingValue(J));
+    Blocks.push_back(getIncomingBlock(J));
+  }
+  dropAllOperands(); // Detaches all uses and clears Incoming.
+  Incoming = std::move(Blocks);
+  for (Value *V : Vals)
+    appendOperand(V);
+}
+
+void BrInst::makeUnconditional(BasicBlock *Dest) {
+  dropAllOperands(); // Detaches the condition use, if any.
+  TrueDest = Dest;
+  FalseDest = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+BasicBlock::~BasicBlock() {
+  // Destroy in reverse, dropping operands first so use-list asserts hold.
+  for (auto It = Insts.rbegin(); It != Insts.rend(); ++It)
+    (*It)->dropAllOperands();
+}
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(I && "appending null instruction");
+  I->setParent(this);
+  Insts.push_back(std::move(I));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertBefore(std::unique_ptr<Instruction> I,
+                                      Instruction *Pos) {
+  assert(I && "inserting null instruction");
+  I->setParent(this);
+  for (auto It = Insts.begin(); It != Insts.end(); ++It) {
+    if (It->get() == Pos) {
+      auto *Raw = I.get();
+      Insts.insert(It, std::move(I));
+      return Raw;
+    }
+  }
+  assert(false && "insertion point not in this block");
+  return nullptr;
+}
+
+void BasicBlock::erase(Instruction *I) {
+  assert(!I->hasUsers() && "erasing an instruction that still has users");
+  I->dropAllOperands();
+  for (auto It = Insts.begin(); It != Insts.end(); ++It) {
+    if (It->get() == I) {
+      Insts.erase(It);
+      return;
+    }
+  }
+  assert(false && "instruction not in this block");
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction *I) {
+  for (auto It = Insts.begin(); It != Insts.end(); ++It) {
+    if (It->get() == I) {
+      std::unique_ptr<Instruction> Owned = std::move(*It);
+      Insts.erase(It);
+      Owned->setParent(nullptr);
+      return Owned;
+    }
+  }
+  assert(false && "instruction not in this block");
+  return nullptr;
+}
+
+Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty())
+    return nullptr;
+  Instruction *Last = Insts.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Succs;
+  Instruction *Term = getTerminator();
+  if (!Term)
+    return Succs;
+  if (auto *Br = dyn_cast<BrInst>(Term))
+    for (unsigned I = 0, E = Br->getNumSuccessors(); I != E; ++I)
+      Succs.push_back(Br->getSuccessor(I));
+  return Succs;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Preds;
+  if (!Parent)
+    return Preds;
+  for (const auto &BB : *Parent) {
+    for (BasicBlock *Succ : BB->successors())
+      if (Succ == this) {
+        Preds.push_back(BB.get());
+        break;
+      }
+  }
+  return Preds;
+}
+
+std::vector<PhiInst *> BasicBlock::phis() const {
+  std::vector<PhiInst *> Result;
+  for (const auto &I : Insts) {
+    auto *Phi = dyn_cast<PhiInst>(I.get());
+    if (!Phi)
+      break;
+    Result.push_back(Phi);
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Function::Function(std::string Name, Type RetTy, std::vector<Type> ParamTys)
+    : Name(std::move(Name)), RetTy(RetTy) {
+  for (unsigned I = 0; I != ParamTys.size(); ++I)
+    Args.push_back(std::make_unique<Argument>(ParamTys[I], I, this));
+}
+
+Function::~Function() {
+  // Blocks are destroyed in layout order; a later block's instructions may
+  // use values from an earlier one, so sever every use first.
+  for (const auto &BB : Blocks)
+    for (const auto &I : *BB)
+      I->dropAllOperands();
+}
+
+BasicBlock *Function::createBlock(std::string BlockName) {
+  auto BB = std::make_unique<BasicBlock>(std::move(BlockName));
+  BB->setParent(this);
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::appendBlock(std::unique_ptr<BasicBlock> BB) {
+  assert(BB && "appending null block");
+  BB->setParent(this);
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  for (auto It = Blocks.begin(); It != Blocks.end(); ++It) {
+    if (It->get() == BB) {
+      // Drop all operand uses first so cross-block references unwind.
+      std::vector<Instruction *> Owned;
+      for (const auto &I : *BB)
+        Owned.push_back(I.get());
+      for (auto *I : Owned)
+        I->dropAllOperands();
+      for ([[maybe_unused]] auto *I : Owned)
+        assert(!I->hasUsers() && "erasing block whose values are still used");
+      Blocks.erase(It);
+      return;
+    }
+  }
+  assert(false && "block not in this function");
+}
+
+size_t Function::instructionCount() const {
+  size_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->size();
+  return N;
+}
+
+void Function::renumberValues() {
+  unsigned Counter = 0;
+  for (const auto &Arg : Args)
+    if (Arg->getName().empty())
+      Arg->setName("arg" + std::to_string(Arg->getIndex()));
+  for (const auto &BB : Blocks)
+    for (const auto &I : *BB)
+      if (I->getType() != Type::Void)
+        I->setName("%" + std::to_string(Counter++));
+}
+
+//===----------------------------------------------------------------------===//
+// CallInst (needs Function definition)
+//===----------------------------------------------------------------------===//
+
+CallInst::CallInst(Function *Callee, std::vector<Value *> Args, Type RetTy)
+    : Instruction(ValueKind::InstCall, RetTy), Callee(Callee) {
+  assert(Callee && "call to null function");
+  assert(Args.size() == Callee->getNumArgs() && "call argument count");
+  for (Value *A : Args)
+    appendOperand(A);
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+ConstantInt *Module::getInt(std::int64_t V) {
+  auto It = IntPool.find(V);
+  if (It != IntPool.end())
+    return It->second.get();
+  auto C = std::make_unique<ConstantInt>(V);
+  auto *Raw = C.get();
+  IntPool.emplace(V, std::move(C));
+  return Raw;
+}
+
+ConstantFloat *Module::getFloat(double V) {
+  std::uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "bit-pattern key");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  auto It = FloatPool.find(Bits);
+  if (It != FloatPool.end())
+    return It->second.get();
+  auto C = std::make_unique<ConstantFloat>(V);
+  auto *Raw = C.get();
+  FloatPool.emplace(Bits, std::move(C));
+  return Raw;
+}
+
+GlobalVariable *Module::createGlobal(std::string GlobalName,
+                                     std::uint64_t SizeBytes) {
+  assert(!getGlobal(GlobalName) && "duplicate global name");
+  Globals.push_back(
+      std::make_unique<GlobalVariable>(std::move(GlobalName), SizeBytes));
+  return Globals.back().get();
+}
+
+GlobalVariable *Module::getGlobal(const std::string &GlobalName) const {
+  for (const auto &G : Globals)
+    if (G->getName() == GlobalName)
+      return G.get();
+  return nullptr;
+}
+
+Function *Module::createFunction(std::string FuncName, Type RetTy,
+                                 std::vector<Type> ParamTys) {
+  assert(!getFunction(FuncName) && "duplicate function name");
+  auto F =
+      std::make_unique<Function>(std::move(FuncName), RetTy, std::move(ParamTys));
+  F->setParent(this);
+  Funcs.push_back(std::move(F));
+  return Funcs.back().get();
+}
+
+Function *Module::addFunction(std::unique_ptr<Function> F) {
+  assert(F && "adding null function");
+  assert(!getFunction(F->getName()) && "duplicate function name");
+  F->setParent(this);
+  Funcs.push_back(std::move(F));
+  return Funcs.back().get();
+}
+
+Function *Module::getFunction(const std::string &FuncName) const {
+  for (const auto &F : Funcs)
+    if (F->getName() == FuncName)
+      return F.get();
+  return nullptr;
+}
+
+void Module::eraseFunction(Function *F) {
+  for (auto It = Funcs.begin(); It != Funcs.end(); ++It) {
+    if (It->get() == F) {
+      // Erase blocks in an order-insensitive way by dropping operands first.
+      std::vector<BasicBlock *> Blocks;
+      for (const auto &BB : *F)
+        Blocks.push_back(BB.get());
+      for (BasicBlock *BB : Blocks)
+        F->eraseBlock(BB);
+      Funcs.erase(It);
+      return;
+    }
+  }
+  assert(false && "function not in this module");
+}
+
+std::vector<Function *> Module::tasks() const {
+  std::vector<Function *> Tasks;
+  for (const auto &F : Funcs)
+    if (F->isTask())
+      Tasks.push_back(F.get());
+  return Tasks;
+}

@@ -1,0 +1,135 @@
+//===- ir/IRBuilder.cpp - Convenience instruction factory -----------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace dae;
+using namespace dae::ir;
+
+Instruction *IRBuilder::insert(std::unique_ptr<Instruction> I) {
+  assert(Block && "builder has no insertion block");
+  return Block->append(std::move(I));
+}
+
+Value *IRBuilder::createBinOp(BinOp Op, Value *L, Value *R) {
+  return insert(std::make_unique<BinaryInst>(Op, L, R));
+}
+
+Value *IRBuilder::createCmp(CmpPred P, Value *L, Value *R) {
+  return insert(std::make_unique<CmpInst>(P, L, R));
+}
+
+Value *IRBuilder::createSelect(Value *Cond, Value *TVal, Value *FVal) {
+  return insert(std::make_unique<SelectInst>(Cond, TVal, FVal));
+}
+
+Value *IRBuilder::createCast(CastOp Op, Value *V) {
+  return insert(std::make_unique<CastInst>(Op, V));
+}
+
+LoadInst *IRBuilder::createLoad(Type Ty, Value *Ptr) {
+  return static_cast<LoadInst *>(insert(std::make_unique<LoadInst>(Ty, Ptr)));
+}
+
+StoreInst *IRBuilder::createStore(Value *Val, Value *Ptr) {
+  return static_cast<StoreInst *>(
+      insert(std::make_unique<StoreInst>(Val, Ptr)));
+}
+
+PrefetchInst *IRBuilder::createPrefetch(Value *Ptr) {
+  return static_cast<PrefetchInst *>(
+      insert(std::make_unique<PrefetchInst>(Ptr)));
+}
+
+GepInst *IRBuilder::createGep1D(Value *Base, Value *Idx,
+                                std::int64_t ElemSize) {
+  return createGep(Base, {Idx}, {0}, ElemSize);
+}
+
+GepInst *IRBuilder::createGep2D(Value *Base, Value *Row, Value *Col,
+                                std::int64_t Cols, std::int64_t ElemSize) {
+  return createGep(Base, {Row, Col}, {0, Cols}, ElemSize);
+}
+
+GepInst *IRBuilder::createGep(Value *Base, std::vector<Value *> Indices,
+                              std::vector<std::int64_t> DimSizes,
+                              std::int64_t ElemSize) {
+  return static_cast<GepInst *>(insert(std::make_unique<GepInst>(
+      Base, std::move(Indices), std::move(DimSizes), ElemSize)));
+}
+
+PhiInst *IRBuilder::createPhi(Type Ty) {
+  assert(Block && "builder has no insertion block");
+  // Phis must sit at the head of the block, before any non-phi.
+  auto Phi = std::make_unique<PhiInst>(Ty);
+  auto *Raw = Phi.get();
+  for (const auto &I : *Block) {
+    if (!isa<PhiInst>(I.get())) {
+      Block->insertBefore(std::move(Phi), I.get());
+      return Raw;
+    }
+  }
+  Block->append(std::move(Phi));
+  return Raw;
+}
+
+BrInst *IRBuilder::createBr(BasicBlock *Dest) {
+  return static_cast<BrInst *>(insert(std::make_unique<BrInst>(Dest)));
+}
+
+BrInst *IRBuilder::createCondBr(Value *Cond, BasicBlock *TrueBB,
+                                BasicBlock *FalseBB) {
+  return static_cast<BrInst *>(
+      insert(std::make_unique<BrInst>(Cond, TrueBB, FalseBB)));
+}
+
+RetInst *IRBuilder::createRet() {
+  return static_cast<RetInst *>(insert(std::make_unique<RetInst>()));
+}
+
+RetInst *IRBuilder::createRet(Value *V) {
+  return static_cast<RetInst *>(insert(std::make_unique<RetInst>(V)));
+}
+
+CallInst *IRBuilder::createCall(Function *Callee, std::vector<Value *> Args) {
+  return static_cast<CallInst *>(insert(std::make_unique<CallInst>(
+      Callee, std::move(Args), Callee->getReturnType())));
+}
+
+PhiInst *ir::emitCountedLoop(
+    IRBuilder &B, Value *Begin, Value *End, Value *Step,
+    const std::string &NamePrefix,
+    const std::function<void(IRBuilder &, Value *)> &BodyFn) {
+  Function *F = B.getInsertBlock()->getParent();
+  BasicBlock *Preheader = B.getInsertBlock();
+  BasicBlock *Header = F->createBlock(NamePrefix + ".header");
+  BasicBlock *Body = F->createBlock(NamePrefix + ".body");
+  BasicBlock *Latch = F->createBlock(NamePrefix + ".latch");
+  BasicBlock *Exit = F->createBlock(NamePrefix + ".exit");
+
+  B.createBr(Header);
+
+  B.setInsertBlock(Header);
+  PhiInst *IV = B.createPhi(Type::Int64);
+  IV->setName(NamePrefix + ".iv");
+  IV->addIncoming(Begin, Preheader);
+  Value *Cond = B.createCmp(CmpPred::SLT, IV, End);
+  B.createCondBr(Cond, Body, Exit);
+
+  B.setInsertBlock(Body);
+  BodyFn(B, IV);
+  // The body callback may have moved the insertion point (nested loops);
+  // branch from wherever it ended up.
+  B.createBr(Latch);
+
+  B.setInsertBlock(Latch);
+  Value *Next = B.createAdd(IV, Step);
+  IV->addIncoming(Next, Latch);
+  B.createBr(Header);
+
+  B.setInsertBlock(Exit);
+  return IV;
+}

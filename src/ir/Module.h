@@ -1,0 +1,79 @@
+//===- ir/Module.h - Task IR module -----------------------------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns functions, globals, and the uniqued constant pool. One
+/// module holds one workload: its task functions, any helper functions they
+/// call, and the arrays they touch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_IR_MODULE_H
+#define DAECC_IR_MODULE_H
+
+#include "ir/Function.h"
+#include "ir/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dae {
+namespace ir {
+
+/// Top-level IR container.
+class Module {
+public:
+  Module() = default;
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &getName() const { return Name; }
+
+  /// Uniqued integer constant.
+  ConstantInt *getInt(std::int64_t V);
+  /// Uniqued float constant.
+  ConstantFloat *getFloat(double V);
+
+  /// Creates a named global array of \p SizeBytes bytes.
+  GlobalVariable *createGlobal(std::string GlobalName,
+                               std::uint64_t SizeBytes);
+  GlobalVariable *getGlobal(const std::string &GlobalName) const;
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  /// Creates an empty function and registers it.
+  Function *createFunction(std::string FuncName, Type RetTy,
+                           std::vector<Type> ParamTys);
+  /// Registers an externally built function (taking ownership).
+  Function *addFunction(std::unique_ptr<Function> F);
+  Function *getFunction(const std::string &FuncName) const;
+  /// Unlinks and destroys \p F. No remaining call sites may reference it.
+  void eraseFunction(Function *F);
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+  /// All functions marked as tasks, in creation order.
+  std::vector<Function *> tasks() const;
+
+private:
+  std::string Name;
+  std::map<std::int64_t, std::unique_ptr<ConstantInt>> IntPool;
+  std::map<std::uint64_t, std::unique_ptr<ConstantFloat>> FloatPool;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::vector<std::unique_ptr<Function>> Funcs;
+};
+
+} // namespace ir
+} // namespace dae
+
+#endif // DAECC_IR_MODULE_H

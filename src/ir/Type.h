@@ -1,0 +1,49 @@
+//===- ir/Type.h - Task IR types --------------------------------*- C++ -*-===//
+//
+// Part of daecc, a reproduction of "Fix the code. Don't tweak the hardware"
+// (CGO 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Task IR is deliberately small: 64-bit integers, 64-bit floats,
+/// pointers into the simulated address space, and void (for stores, branches,
+/// and tasks). This is all the paper's transformation needs: address
+/// arithmetic is integer, payload computation is float or integer, and
+/// prefetches take a pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_IR_TYPE_H
+#define DAECC_IR_TYPE_H
+
+namespace dae {
+namespace ir {
+
+/// Scalar type of an IR value.
+enum class Type {
+  Void,
+  Int64,
+  Float64,
+  Ptr,
+};
+
+/// Single-character mnemonic used by the textual printer.
+inline const char *typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::Int64:
+    return "i64";
+  case Type::Float64:
+    return "f64";
+  case Type::Ptr:
+    return "ptr";
+  }
+  return "?";
+}
+
+} // namespace ir
+} // namespace dae
+
+#endif // DAECC_IR_TYPE_H

@@ -1,0 +1,162 @@
+//===- ir/Value.h - Task IR value hierarchy ---------------------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Base of the Task IR value hierarchy: constants, arguments, globals, and
+/// instructions (declared in Instruction.h). Uses the LLVM-style opt-in RTTI
+/// from support/Casting.h and maintains use lists so transformations can walk
+/// use-def chains, which is the backbone of the paper's skeleton-marking
+/// algorithm (step 5 of section 5.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_IR_VALUE_H
+#define DAECC_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dae {
+namespace ir {
+
+class Instruction;
+class Function;
+
+/// Discriminator for the value hierarchy. Instruction kinds are contiguous so
+/// Instruction::classof is a range check.
+enum class ValueKind {
+  ConstantInt,
+  ConstantFloat,
+  Argument,
+  Global,
+  // Instructions.
+  InstBinary,
+  InstCmp,
+  InstSelect,
+  InstCast,
+  InstLoad,
+  InstStore,
+  InstPrefetch,
+  InstGep,
+  InstPhi,
+  InstBr,
+  InstRet,
+  InstCall,
+};
+
+/// Base class of everything an instruction can reference.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind getKind() const { return Kind; }
+  Type getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Instructions currently using this value as an operand. May contain an
+  /// instruction several times if it uses the value in several operand slots.
+  const std::vector<Instruction *> &users() const { return Users; }
+  bool hasUsers() const { return !Users.empty(); }
+
+  /// Replaces every use of this value with \p New, fixing use lists.
+  void replaceAllUsesWith(Value *New);
+
+protected:
+  Value(ValueKind K, Type T) : Kind(K), Ty(T) {}
+
+private:
+  friend class Instruction;
+  void addUser(Instruction *I) { Users.push_back(I); }
+  void removeUser(Instruction *I);
+
+  ValueKind Kind;
+  Type Ty;
+  std::string Name;
+  std::vector<Instruction *> Users;
+};
+
+/// A uniqued 64-bit integer constant (owned by the Module).
+class ConstantInt : public Value {
+public:
+  explicit ConstantInt(std::int64_t V)
+      : Value(ValueKind::ConstantInt, Type::Int64), Val(V) {}
+
+  std::int64_t getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  std::int64_t Val;
+};
+
+/// A uniqued 64-bit float constant (owned by the Module).
+class ConstantFloat : public Value {
+public:
+  explicit ConstantFloat(double V)
+      : Value(ValueKind::ConstantFloat, Type::Float64), Val(V) {}
+
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantFloat;
+  }
+
+private:
+  double Val;
+};
+
+/// A formal parameter of a Function. Task arguments are the values "visible
+/// outside of the task scope" in the sense of section 3.1 of the paper.
+class Argument : public Value {
+public:
+  Argument(Type T, unsigned Idx, Function *Parent)
+      : Value(ValueKind::Argument, T), Index(Idx), Parent(Parent) {}
+
+  unsigned getIndex() const { return Index; }
+  Function *getParent() const { return Parent; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+  Function *Parent;
+};
+
+/// A named chunk of simulated memory (an array). The simulator assigns the
+/// base address at load time; the compiler only sees the symbol, its element
+/// size, and its extent.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(std::string Name, std::uint64_t SizeBytes)
+      : Value(ValueKind::Global, Type::Ptr), SizeBytes(SizeBytes) {
+    setName(std::move(Name));
+  }
+
+  std::uint64_t getSizeInBytes() const { return SizeBytes; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Global;
+  }
+
+private:
+  std::uint64_t SizeBytes;
+};
+
+} // namespace ir
+} // namespace dae
+
+#endif // DAECC_IR_VALUE_H

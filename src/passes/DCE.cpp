@@ -1,0 +1,43 @@
+//===- passes/DCE.cpp - Dead code elimination ------------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "passes/Passes.h"
+#include "support/Casting.h"
+
+#include <vector>
+
+using namespace dae;
+using namespace dae::ir;
+
+bool passes::runDCE(Function &F) {
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BB : F) {
+      // Collect first: erasing invalidates iteration.
+      std::vector<Instruction *> Dead;
+      for (const auto &I : *BB) {
+        if (I->hasUsers() || I->hasSideEffects())
+          continue;
+        // Loads are side-effect free for DCE purposes: the access skeleton
+        // relies on exactly this to drop loads whose value feeds only the
+        // discarded computation (section 5.2.1).
+        Dead.push_back(I.get());
+      }
+      // Erase in reverse so intra-block use chains unwind cleanly.
+      for (auto It = Dead.rbegin(); It != Dead.rend(); ++It) {
+        if ((*It)->hasUsers())
+          continue; // A later dead instruction still used it; next round.
+        BB->erase(*It);
+        Changed = true;
+        EverChanged = true;
+      }
+    }
+  }
+  return EverChanged;
+}

@@ -1,0 +1,201 @@
+//===- passes/Inliner.cpp - Function inlining ------------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inlines direct calls. The paper requires every call inside a task to be
+/// inlined before an access phase may be generated (section 5.2.2 step 1);
+/// FFT is the showcase (section 6.2.2): its tasks call helper functions whose
+/// loop nests are merged by inlining + cleanup before skeletonization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cloner.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "passes/Passes.h"
+#include "support/Casting.h"
+
+#include <set>
+#include <vector>
+
+using namespace dae;
+using namespace dae::ir;
+
+namespace {
+
+/// True when inlining \p Callee (transitively) could recurse into itself or
+/// into \p Caller.
+bool isRecursive(const Function *Caller, const Function *Callee) {
+  std::set<const Function *> Seen;
+  std::vector<const Function *> Work{Callee};
+  while (!Work.empty()) {
+    const Function *F = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(F).second)
+      continue;
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (const auto *Call = dyn_cast<CallInst>(I.get())) {
+          if (Call->getCallee() == Caller || Call->getCallee() == Callee)
+            return true;
+          Work.push_back(Call->getCallee());
+        }
+  }
+  return false;
+}
+
+bool isInlinable(const Function *Caller, const CallInst *Call) {
+  const Function *Callee = Call->getCallee();
+  return !Callee->isNoInline() && !Callee->empty() &&
+         !isRecursive(Caller, Callee);
+}
+
+/// Inlines one call site. Returns false when the call cannot be inlined.
+bool inlineCall(Function &F, CallInst *Call) {
+  if (!isInlinable(&F, Call))
+    return false;
+  const Function *Callee = Call->getCallee();
+  BasicBlock *BB = Call->getParent();
+
+  // Split the block after the call: everything following it moves to a
+  // continuation block.
+  BasicBlock *Cont = F.createBlock(BB->getName() + ".inlcont");
+  std::vector<Instruction *> Tail;
+  bool Found = false;
+  for (const auto &I : *BB) {
+    if (Found)
+      Tail.push_back(I.get());
+    if (I.get() == Call)
+      Found = true;
+  }
+  assert(Found && "call not in its parent block");
+  for (Instruction *I : Tail)
+    Cont->append(BB->detach(I));
+
+  // Phis downstream that named BB as predecessor now flow from Cont.
+  for (BasicBlock *Succ : Cont->successors())
+    for (PhiInst *Phi : Succ->phis()) {
+      int Idx = Phi->getBlockIndex(BB);
+      if (Idx >= 0)
+        Phi->setIncomingBlock(static_cast<unsigned>(Idx), Cont);
+    }
+
+  // Map callee formals to actuals.
+  ValueMap VM;
+  for (unsigned I = 0; I != Callee->getNumArgs(); ++I)
+    VM[Callee->getArg(I)] = Call->getArg(I);
+
+  // Create destination blocks.
+  std::map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (const auto &CB : *Callee)
+    BlockMap[CB.get()] = F.createBlock(Callee->getName() + "." + CB->getName());
+
+  // Clone bodies; rets become branches to Cont.
+  std::vector<std::pair<const PhiInst *, PhiInst *>> PendingPhis;
+  std::vector<std::pair<BasicBlock *, Value *>> ReturnEdges;
+  for (const auto &CB : *Callee) {
+    BasicBlock *NewBB = BlockMap[CB.get()];
+    for (const auto &I : *CB) {
+      if (const auto *P = dyn_cast<PhiInst>(I.get())) {
+        auto NewPhi = std::make_unique<PhiInst>(P->getType());
+        PendingPhis.emplace_back(P, NewPhi.get());
+        VM[P] = NewPhi.get();
+        NewBB->append(std::move(NewPhi));
+        continue;
+      }
+      if (const auto *Ret = dyn_cast<RetInst>(I.get())) {
+        Value *RetVal = nullptr;
+        if (Ret->hasReturnValue()) {
+          Value *Orig = Ret->getReturnValue();
+          auto It = VM.find(Orig);
+          RetVal = It == VM.end() ? Orig : It->second;
+        }
+        NewBB->append(std::make_unique<BrInst>(Cont));
+        ReturnEdges.emplace_back(NewBB, RetVal);
+        continue;
+      }
+      auto NewI = cloneInstruction(*I, VM, BlockMap);
+      VM[I.get()] = NewI.get();
+      NewBB->append(std::move(NewI));
+    }
+  }
+  for (auto &[OldPhi, NewPhi] : PendingPhis)
+    for (unsigned J = 0; J != OldPhi->getNumIncoming(); ++J) {
+      Value *V = OldPhi->getIncomingValue(J);
+      auto It = VM.find(V);
+      NewPhi->addIncoming(It == VM.end() ? V : It->second,
+                          BlockMap.at(OldPhi->getIncomingBlock(J)));
+    }
+
+  // Wire the return value into users of the call.
+  if (Call->hasUsers()) {
+    assert(!ReturnEdges.empty() && "non-void call into function with no ret");
+    Value *Result = nullptr;
+    if (ReturnEdges.size() == 1) {
+      Result = ReturnEdges.front().second;
+    } else {
+      auto Phi = std::make_unique<PhiInst>(Call->getType());
+      for (auto &[RetBB, RetVal] : ReturnEdges)
+        Phi->addIncoming(RetVal, RetBB);
+      Result = Phi.get();
+      if (Cont->empty())
+        Cont->append(std::move(Phi));
+      else
+        Cont->insertBefore(std::move(Phi), Cont->front());
+    }
+    assert(Result && "missing return value for used call");
+    Call->replaceAllUsesWith(Result);
+  }
+
+  // Replace the call with a branch into the inlined entry.
+  BB->erase(Call);
+  BB->append(std::make_unique<BrInst>(BlockMap.at(Callee->getEntry())));
+  return true;
+}
+
+CallInst *findInlinableCall(Function &F) {
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      if (auto *Call = dyn_cast<CallInst>(I.get()))
+        if (isInlinable(&F, Call))
+          return Call;
+  return nullptr;
+}
+
+} // namespace
+
+unsigned passes::runInliner(Function &F) {
+  unsigned Count = 0;
+  while (CallInst *Call = findInlinableCall(F)) {
+    if (!inlineCall(F, Call))
+      break;
+    ++Count;
+    assert(Count < 10000 && "runaway inliner");
+  }
+  return Count;
+}
+
+bool passes::allCallsInlinable(const Function &F) {
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      if (const auto *Call = dyn_cast<CallInst>(I.get()))
+        if (Call->getCallee()->isNoInline() || Call->getCallee()->empty() ||
+            isRecursive(&F, Call->getCallee()))
+          return false;
+  return true;
+}
+
+void passes::optimizeFunction(Function &F) {
+  runInliner(F);
+  bool Changed = true;
+  unsigned Iter = 0;
+  while (Changed && Iter++ < 32) {
+    Changed = false;
+    Changed |= runConstantFolding(F);
+    Changed |= runSimplifyCFG(F);
+    Changed |= runDCE(F);
+  }
+}

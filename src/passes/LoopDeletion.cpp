@@ -1,0 +1,88 @@
+//===- passes/LoopDeletion.cpp - Dead loop removal --------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deletes loops whose bodies have no side effects and whose values are not
+/// used outside the loop. Skeleton access phases need this: once the marking
+/// algorithm discards a loop's stores and computation, the remaining
+/// IV-and-branch shell would still burn access-phase cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "passes/Passes.h"
+#include "support/Casting.h"
+
+#include <set>
+
+using namespace dae;
+using namespace dae::ir;
+using dae::analysis::Loop;
+using dae::analysis::LoopInfo;
+
+namespace {
+
+bool tryDeleteLoop(const Loop &L) {
+  BasicBlock *Preheader = L.getPreheader();
+  BasicBlock *Exit = L.getExitBlock();
+  if (!Preheader || !Exit || L.contains(Exit))
+    return false;
+
+  // Reject loops with side effects or values escaping the loop.
+  for (BasicBlock *BB : L.blocks()) {
+    for (const auto &I : *BB) {
+      if (isa<StoreInst, PrefetchInst, CallInst>(I.get()))
+        return false;
+      for (Instruction *U : I->users())
+        if (!L.contains(U->getParent()))
+          return false;
+    }
+  }
+
+  // The exit block must not depend on which loop block branched to it.
+  for (PhiInst *Phi : Exit->phis()) {
+    (void)Phi;
+    return false;
+  }
+
+  // Retarget the preheader straight to the exit; unreachable-block cleanup
+  // removes the loop body.
+  auto *Br = dyn_cast_if_present<BrInst>(Preheader->getTerminator());
+  if (!Br)
+    return false;
+  if (Br->isConditional()) {
+    if (Br->getTrueDest() == L.getHeader())
+      Br->setTrueDest(Exit);
+    if (Br->getFalseDest() == L.getHeader())
+      Br->setFalseDest(Exit);
+  } else {
+    Br->setTrueDest(Exit);
+  }
+  return true;
+}
+
+} // namespace
+
+bool passes::runLoopDeletion(Function &F) {
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    LoopInfo LI(F);
+    // Innermost first so nests collapse outward.
+    for (Loop *L : LI.loopsInnermostFirst()) {
+      if (tryDeleteLoop(*L)) {
+        runSimplifyCFG(F); // Sweep the now-unreachable body.
+        runDCE(F);
+        Changed = true;
+        EverChanged = true;
+        break; // LoopInfo invalidated.
+      }
+    }
+  }
+  return EverChanged;
+}

@@ -1,0 +1,162 @@
+//===- passes/SimplifyCFG.cpp - CFG cleanup --------------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "passes/Passes.h"
+#include "support/Casting.h"
+
+#include <set>
+#include <vector>
+
+using namespace dae;
+using namespace dae::ir;
+
+namespace {
+
+/// Folds branches on constant conditions into unconditional branches.
+bool foldConstantBranches(Function &F) {
+  bool Changed = false;
+  for (const auto &BB : F) {
+    auto *Br = dyn_cast_if_present<BrInst>(BB->getTerminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    auto *C = dyn_cast<ConstantInt>(Br->getCondition());
+    if (!C)
+      continue;
+    BasicBlock *Live = C->getValue() != 0 ? Br->getTrueDest() : Br->getFalseDest();
+    BasicBlock *Dead = C->getValue() != 0 ? Br->getFalseDest() : Br->getTrueDest();
+    if (Live == Dead) {
+      Br->makeUnconditional(Live);
+      Changed = true;
+      continue;
+    }
+    // Unhook phi edges in the no-longer-reached successor.
+    for (PhiInst *Phi : Dead->phis()) {
+      int Idx = Phi->getBlockIndex(BB.get());
+      if (Idx >= 0)
+        Phi->removeIncoming(static_cast<unsigned>(Idx));
+    }
+    Br->makeUnconditional(Live);
+    Changed = true;
+  }
+  return Changed;
+}
+
+/// Deletes blocks unreachable from the entry, fixing phis in survivors.
+bool removeUnreachableBlocks(Function &F) {
+  if (F.empty())
+    return false;
+  std::set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work{F.getEntry()};
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(BB).second)
+      continue;
+    for (BasicBlock *S : BB->successors())
+      Work.push_back(S);
+  }
+
+  std::vector<BasicBlock *> DeadBlocks;
+  for (const auto &BB : F)
+    if (!Reachable.count(BB.get()))
+      DeadBlocks.push_back(BB.get());
+  if (DeadBlocks.empty())
+    return false;
+
+  // Remove phi edges from dead predecessors in surviving blocks.
+  for (BasicBlock *Dead : DeadBlocks)
+    for (BasicBlock *Succ : Dead->successors()) {
+      if (!Reachable.count(Succ))
+        continue;
+      for (PhiInst *Phi : Succ->phis()) {
+        int Idx = Phi->getBlockIndex(Dead);
+        if (Idx >= 0)
+          Phi->removeIncoming(static_cast<unsigned>(Idx));
+      }
+    }
+
+  // Drop operands of all dead instructions first so cross-references among
+  // dead blocks unwind, then erase the blocks.
+  for (BasicBlock *Dead : DeadBlocks)
+    for (const auto &I : *Dead)
+      I->dropAllOperands();
+  for (BasicBlock *Dead : DeadBlocks)
+    F.eraseBlock(Dead);
+  return true;
+}
+
+/// Replaces single-incoming phis with their value.
+bool simplifyTrivialPhis(Function &F) {
+  bool Changed = false;
+  for (const auto &BB : F) {
+    std::vector<PhiInst *> Phis = BB->phis();
+    for (PhiInst *Phi : Phis) {
+      if (Phi->getNumIncoming() != 1)
+        continue;
+      Value *V = Phi->getIncomingValue(0);
+      if (V != Phi)
+        Phi->replaceAllUsesWith(V);
+      BB->erase(Phi);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// Merges BB -> S when BB unconditionally branches to S, S has no other
+/// predecessors, and S starts with no phi.
+bool mergeBlockChains(Function &F) {
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    for (const auto &BBPtr : F) {
+      BasicBlock *BB = BBPtr.get();
+      auto *Br = dyn_cast_if_present<BrInst>(BB->getTerminator());
+      if (!Br || Br->isConditional())
+        continue;
+      BasicBlock *S = Br->getTrueDest();
+      if (S == BB || S == F.getEntry())
+        continue;
+      if (S->predecessors().size() != 1 || !S->phis().empty())
+        continue;
+
+      // Move S's instructions into BB, replacing BB's terminator.
+      BB->erase(Br);
+      std::vector<Instruction *> ToMove;
+      for (const auto &I : *S)
+        ToMove.push_back(I.get());
+      for (Instruction *I : ToMove)
+        BB->append(S->detach(I));
+
+      // Phis in S's successors now see BB as the predecessor.
+      for (BasicBlock *Succ : BB->successors())
+        for (PhiInst *Phi : Succ->phis()) {
+          int Idx = Phi->getBlockIndex(S);
+          if (Idx >= 0)
+            Phi->setIncomingBlock(static_cast<unsigned>(Idx), BB);
+        }
+
+      F.eraseBlock(S);
+      Changed = true;
+      LocalChange = true;
+      break; // Iteration invalidated; restart.
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool passes::runSimplifyCFG(Function &F) {
+  bool Changed = false;
+  Changed |= foldConstantBranches(F);
+  Changed |= removeUnreachableBlocks(F);
+  Changed |= simplifyTrivialPhis(F);
+  Changed |= mergeBlockChains(F);
+  return Changed;
+}

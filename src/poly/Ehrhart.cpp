@@ -1,0 +1,121 @@
+//===- poly/Ehrhart.cpp - Ehrhart polynomials by interpolation -------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Ehrhart.h"
+
+#include <cassert>
+
+using namespace dae;
+using namespace dae::poly;
+
+Rational EhrhartPolynomial::evaluate(std::int64_t P) const {
+  Rational Acc(0);
+  // Horner, highest degree first.
+  for (auto It = Coeffs.rbegin(); It != Coeffs.rend(); ++It)
+    Acc = Acc * Rational(P) + *It;
+  return Acc;
+}
+
+std::string EhrhartPolynomial::str() const {
+  std::string S;
+  for (unsigned D = static_cast<unsigned>(Coeffs.size()); D-- > 0;) {
+    const Rational &C = Coeffs[D];
+    if (C.isZero())
+      continue;
+    if (!S.empty())
+      S += C.isNegative() ? " - " : " + ";
+    else if (C.isNegative())
+      S += "-";
+    Rational A = C.isNegative() ? -C : C;
+    bool One = A == Rational(1);
+    if (D == 0 || !One)
+      S += A.str();
+    if (D > 0) {
+      if (!One)
+        S += "*";
+      S += "p";
+      if (D > 1)
+        S += "^" + std::to_string(D);
+    }
+  }
+  return S.empty() ? "0" : S;
+}
+
+namespace {
+
+/// Solves the square rational system M * x = B by Gaussian elimination.
+/// Returns false when the matrix is singular.
+bool solveRational(std::vector<std::vector<Rational>> M,
+                   std::vector<Rational> B, std::vector<Rational> &X) {
+  const size_t N = M.size();
+  for (size_t Col = 0; Col != N; ++Col) {
+    size_t Pivot = Col;
+    while (Pivot < N && M[Pivot][Col].isZero())
+      ++Pivot;
+    if (Pivot == N)
+      return false;
+    std::swap(M[Pivot], M[Col]);
+    std::swap(B[Pivot], B[Col]);
+    for (size_t Row = 0; Row != N; ++Row) {
+      if (Row == Col || M[Row][Col].isZero())
+        continue;
+      Rational F = M[Row][Col] / M[Col][Col];
+      for (size_t C2 = Col; C2 != N; ++C2)
+        M[Row][C2] -= F * M[Col][C2];
+      B[Row] -= F * B[Col];
+    }
+  }
+  X.resize(N);
+  for (size_t I = 0; I != N; ++I)
+    X[I] = B[I] / M[I][I];
+  return true;
+}
+
+} // namespace
+
+std::optional<EhrhartPolynomial>
+poly::fitEhrhart(const Polyhedron &P, unsigned ParamVar, std::int64_t PStart,
+                 unsigned MaxDegree) {
+  const unsigned Samples = MaxDegree + 1;
+  const unsigned Holdout = 2;
+
+  std::vector<std::int64_t> Xs;
+  std::vector<long long> Ys;
+  for (unsigned I = 0; I != Samples + Holdout; ++I) {
+    std::int64_t X = PStart + static_cast<std::int64_t>(I);
+    auto Count = P.instantiate(ParamVar, X).countIntegerPoints();
+    if (!Count)
+      return std::nullopt;
+    Xs.push_back(X);
+    Ys.push_back(*Count);
+  }
+
+  // Vandermonde fit on the first Samples points.
+  std::vector<std::vector<Rational>> M(Samples,
+                                       std::vector<Rational>(Samples));
+  std::vector<Rational> B(Samples);
+  for (unsigned R = 0; R != Samples; ++R) {
+    Rational Pow(1);
+    for (unsigned C = 0; C != Samples; ++C) {
+      M[R][C] = Pow;
+      Pow = Pow * Rational(Xs[R]);
+    }
+    B[R] = Rational(Ys[R]);
+  }
+  std::vector<Rational> Coeffs;
+  if (!solveRational(std::move(M), std::move(B), Coeffs))
+    return std::nullopt;
+
+  // Trim trailing zero coefficients.
+  while (Coeffs.size() > 1 && Coeffs.back().isZero())
+    Coeffs.pop_back();
+
+  EhrhartPolynomial Poly(std::move(Coeffs));
+  for (unsigned I = Samples; I != Samples + Holdout; ++I)
+    if (Poly.evaluate(Xs[I]) != Rational(Ys[I]))
+      return std::nullopt; // Quasi-polynomial (or wrong degree bound).
+  return Poly;
+}

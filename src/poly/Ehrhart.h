@@ -1,0 +1,64 @@
+//===- poly/Ehrhart.h - Ehrhart polynomials by interpolation ----*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parametric lattice-point counts, standing in for the Ehrhart machinery
+/// the paper cites (Clauss; section 5.1.2). We fit the counting polynomial
+/// of a one-parameter polytope family by exact rational interpolation on
+/// sampled parameter values and cross-validate on held-out samples. For the
+/// integral, unit-stride polytopes produced by loop bounds, the count is an
+/// honest polynomial in the parameter and interpolation recovers it exactly;
+/// a quasi-polynomial family fails cross-validation and is reported as such.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_POLY_EHRHART_H
+#define DAECC_POLY_EHRHART_H
+
+#include "poly/Polyhedron.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dae {
+namespace poly {
+
+/// A univariate polynomial with exact rational coefficients,
+/// c0 + c1*p + c2*p^2 + ...
+class EhrhartPolynomial {
+public:
+  explicit EhrhartPolynomial(std::vector<Rational> Coeffs)
+      : Coeffs(std::move(Coeffs)) {}
+
+  const std::vector<Rational> &coefficients() const { return Coeffs; }
+  unsigned degree() const {
+    return Coeffs.empty() ? 0 : static_cast<unsigned>(Coeffs.size()) - 1;
+  }
+
+  Rational evaluate(std::int64_t P) const;
+
+  /// e.g. "p^2 + 3/2*p + 1".
+  std::string str() const;
+
+private:
+  std::vector<Rational> Coeffs;
+};
+
+/// Fits the lattice-point count of \p P as a polynomial in variable
+/// \p ParamVar of degree at most \p MaxDegree, sampling parameter values
+/// PStart, PStart+1, ... Counts each sample exactly. Returns nullopt when
+/// any sample is unbounded/oversized or when two held-out samples disagree
+/// with the fit (quasi-polynomial family).
+std::optional<EhrhartPolynomial>
+fitEhrhart(const Polyhedron &P, unsigned ParamVar, std::int64_t PStart,
+           unsigned MaxDegree);
+
+} // namespace poly
+} // namespace dae
+
+#endif // DAECC_POLY_EHRHART_H

@@ -1,0 +1,484 @@
+//===- poly/Polyhedron.cpp - Integer H-polyhedra ---------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Polyhedron.h"
+
+#include "support/Format.h"
+#include "support/Rational.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace dae;
+using namespace dae::poly;
+
+bool PolyConstraint::isTautologyShape() const {
+  for (std::int64_t C : Coeffs)
+    if (C != 0)
+      return false;
+  return true;
+}
+
+std::string PolyConstraint::str() const {
+  std::string S;
+  for (unsigned I = 0; I != Coeffs.size(); ++I) {
+    std::int64_t C = Coeffs[I];
+    if (C == 0)
+      continue;
+    if (!S.empty())
+      S += C > 0 ? " + " : " - ";
+    else if (C < 0)
+      S += "-";
+    std::int64_t A = C < 0 ? -C : C;
+    if (A != 1)
+      S += std::to_string(A) + "*";
+    S += "x" + std::to_string(I);
+  }
+  if (S.empty())
+    return std::to_string(Const) + " >= 0";
+  if (Const > 0)
+    S += " + " + std::to_string(Const);
+  else if (Const < 0)
+    S += " - " + std::to_string(-Const);
+  return S + " >= 0";
+}
+
+namespace {
+
+/// Integer-tightening normalization: divide by the coefficient gcd and floor
+/// the constant. Returns false for a tautological "0 + k >= 0, k >= 0" row
+/// that can be dropped entirely.
+bool normalizeConstraint(PolyConstraint &C) {
+  std::int64_t G = 0;
+  for (std::int64_t V : C.Coeffs)
+    G = gcd64(G, V);
+  if (G == 0)
+    return C.Const < 0; // Keep only an infeasible constant row.
+  if (G > 1) {
+    for (std::int64_t &V : C.Coeffs)
+      V /= G;
+    // floor division for possibly negative constants.
+    std::int64_t K = C.Const;
+    C.Const = K >= 0 ? K / G : -((-K + G - 1) / G);
+  }
+  return true;
+}
+
+std::int64_t mulChecked(std::int64_t A, std::int64_t B) {
+  __int128 R = static_cast<__int128>(A) * B;
+  assert(R <= INT64_MAX && R >= INT64_MIN && "polyhedron coefficient overflow");
+  return static_cast<std::int64_t>(R);
+}
+
+std::int64_t addChecked(std::int64_t A, std::int64_t B) {
+  __int128 R = static_cast<__int128>(A) + B;
+  assert(R <= INT64_MAX && R >= INT64_MIN && "polyhedron constant overflow");
+  return static_cast<std::int64_t>(R);
+}
+
+} // namespace
+
+void Polyhedron::addInequality(std::vector<std::int64_t> Coeffs,
+                               std::int64_t Const) {
+  assert(Coeffs.size() == NumVars && "coefficient count mismatch");
+  PolyConstraint C{std::move(Coeffs), Const};
+  if (C.isTautologyShape() && C.Const >= 0)
+    return; // Trivially true.
+  normalizeConstraint(C);
+  Cs.push_back(std::move(C));
+}
+
+void Polyhedron::addEquality(std::vector<std::int64_t> Coeffs,
+                             std::int64_t Const) {
+  std::vector<std::int64_t> Neg(Coeffs.size());
+  for (unsigned I = 0; I != Coeffs.size(); ++I)
+    Neg[I] = -Coeffs[I];
+  addInequality(Coeffs, Const);
+  addInequality(std::move(Neg), -Const);
+}
+
+void Polyhedron::addLowerBound(unsigned Var, std::int64_t Lo) {
+  std::vector<std::int64_t> C(NumVars, 0);
+  C[Var] = 1;
+  addInequality(std::move(C), -Lo);
+}
+
+void Polyhedron::addUpperBound(unsigned Var, std::int64_t Hi) {
+  std::vector<std::int64_t> C(NumVars, 0);
+  C[Var] = -1;
+  addInequality(std::move(C), Hi);
+}
+
+void Polyhedron::simplify() {
+  // Normalize (already done on add and combine), dedup, and drop rows
+  // subsumed by a same-coefficients row with a smaller constant.
+  std::sort(Cs.begin(), Cs.end());
+  std::vector<PolyConstraint> Out;
+  for (auto &C : Cs) {
+    if (!Out.empty() && Out.back().Coeffs == C.Coeffs) {
+      // Sorted ascending by Const: the earlier row is tighter; skip.
+      continue;
+    }
+    Out.push_back(std::move(C));
+  }
+  Cs = std::move(Out);
+}
+
+Polyhedron Polyhedron::eliminate(unsigned Var) const {
+  assert(Var < NumVars && "variable out of range");
+  Polyhedron Res(NumVars);
+  std::vector<const PolyConstraint *> Pos, Neg;
+  for (const auto &C : Cs) {
+    std::int64_t A = C.Coeffs[Var];
+    if (A == 0)
+      Res.Cs.push_back(C);
+    else if (A > 0)
+      Pos.push_back(&C);
+    else
+      Neg.push_back(&C);
+  }
+  for (const PolyConstraint *P : Pos) {
+    for (const PolyConstraint *N : Neg) {
+      std::int64_t A = P->Coeffs[Var];       // > 0
+      std::int64_t B = -N->Coeffs[Var];      // > 0
+      // B*P + A*N cancels Var.
+      PolyConstraint C;
+      C.Coeffs.resize(NumVars);
+      for (unsigned I = 0; I != NumVars; ++I)
+        C.Coeffs[I] = addChecked(mulChecked(B, P->Coeffs[I]),
+                                 mulChecked(A, N->Coeffs[I]));
+      C.Const =
+          addChecked(mulChecked(B, P->Const), mulChecked(A, N->Const));
+      assert(C.Coeffs[Var] == 0 && "elimination failed to cancel");
+      if (C.isTautologyShape() && C.Const >= 0)
+        continue;
+      normalizeConstraint(C);
+      Res.Cs.push_back(std::move(C));
+    }
+  }
+  Res.simplify();
+  return Res;
+}
+
+Polyhedron Polyhedron::eliminateAll(const std::vector<unsigned> &Vars) const {
+  // Greedy ordering: repeatedly eliminate the variable with the smallest
+  // pos*neg product (the classic Fourier-Motzkin blowup heuristic).
+  Polyhedron Res = *this;
+  std::vector<unsigned> Pending = Vars;
+  while (!Pending.empty()) {
+    unsigned BestIdx = 0;
+    long long BestScore = -1;
+    for (unsigned I = 0; I != Pending.size(); ++I) {
+      long long Pos = 0, Neg = 0;
+      for (const auto &C : Res.Cs) {
+        if (C.Coeffs[Pending[I]] > 0)
+          ++Pos;
+        else if (C.Coeffs[Pending[I]] < 0)
+          ++Neg;
+      }
+      long long Score = Pos * Neg - (Pos + Neg);
+      if (BestScore < 0 || Score < BestScore) {
+        BestScore = Score;
+        BestIdx = I;
+      }
+    }
+    Res = Res.eliminate(Pending[BestIdx]);
+    Pending.erase(Pending.begin() + BestIdx);
+  }
+  return Res;
+}
+
+Polyhedron Polyhedron::instantiate(unsigned Var, std::int64_t Value) const {
+  assert(Var < NumVars && "variable out of range");
+  Polyhedron Res(NumVars);
+  for (const auto &C : Cs) {
+    PolyConstraint NC = C;
+    NC.Const = addChecked(NC.Const, mulChecked(NC.Coeffs[Var], Value));
+    NC.Coeffs[Var] = 0;
+    if (NC.isTautologyShape() && NC.Const >= 0)
+      continue;
+    normalizeConstraint(NC);
+    Res.Cs.push_back(std::move(NC));
+  }
+  return Res;
+}
+
+namespace {
+
+/// Exact rational feasibility of {x : sum(a_i x) + b >= 0 for all rows} via
+/// phase-1 simplex with Bland's rule (guaranteed termination). Free
+/// variables are split into differences of nonnegatives. Fourier-Motzkin is
+/// doubly exponential on the lifted systems the convex-hull construction
+/// produces; simplex keeps emptiness checks polynomial in practice.
+bool rationalFeasible(const std::vector<PolyConstraint> &Rows,
+                      unsigned NumVars) {
+  const unsigned M = static_cast<unsigned>(Rows.size());
+  if (M == 0)
+    return true;
+  // Columns: [0, 2n) split variables, [2n, 2n+m) slacks, [2n+m, 2n+2m)
+  // artificials. T has an extra RHS column at the end.
+  const unsigned NSplit = 2 * NumVars;
+  const unsigned Cols = NSplit + 2 * M;
+  std::vector<std::vector<Rational>> T(M, std::vector<Rational>(Cols + 1));
+  std::vector<unsigned> Basis(M);
+
+  for (unsigned I = 0; I != M; ++I) {
+    // a.x + b >= 0  <=>  a.u - a.v - s = -b.
+    std::int64_t Sign = -Rows[I].Const >= 0 ? 1 : -1;
+    for (unsigned J = 0; J != NumVars; ++J) {
+      T[I][2 * J] = Rational(Sign * Rows[I].Coeffs[J]);
+      T[I][2 * J + 1] = Rational(-Sign * Rows[I].Coeffs[J]);
+    }
+    T[I][NSplit + I] = Rational(-Sign);
+    T[I][NSplit + M + I] = Rational(1);
+    T[I][Cols] = Rational(Sign * -Rows[I].Const);
+    Basis[I] = NSplit + M + I;
+  }
+
+  // Phase-1 objective: minimize sum of artificials. Work with the row
+  // Z = sum of constraint rows (reduced costs of the artificial basis).
+  std::vector<Rational> Z(Cols + 1);
+  for (unsigned I = 0; I != M; ++I)
+    for (unsigned J = 0; J <= Cols; ++J)
+      Z[J] += T[I][J];
+
+  while (true) {
+    // Bland's rule: entering column = smallest index with positive reduced
+    // cost among non-artificial columns.
+    unsigned Enter = Cols;
+    for (unsigned J = 0; J != NSplit + M; ++J)
+      if (Z[J] > Rational(0)) {
+        Enter = J;
+        break;
+      }
+    if (Enter == Cols)
+      break; // Optimal.
+
+    // Ratio test; Bland ties broken by smallest basis variable index.
+    unsigned Leave = M;
+    Rational BestRatio(0);
+    for (unsigned I = 0; I != M; ++I) {
+      if (!(T[I][Enter] > Rational(0)))
+        continue;
+      Rational Ratio = T[I][Cols] / T[I][Enter];
+      if (Leave == M || Ratio < BestRatio ||
+          (Ratio == BestRatio && Basis[I] < Basis[Leave]))  {
+        Leave = I;
+        BestRatio = Ratio;
+      }
+    }
+    if (Leave == M)
+      break; // Unbounded objective cannot happen in phase 1; be safe.
+
+    // Pivot.
+    Rational Pivot = T[Leave][Enter];
+    for (unsigned J = 0; J <= Cols; ++J)
+      T[Leave][J] /= Pivot;
+    for (unsigned I = 0; I != M; ++I) {
+      if (I == Leave || T[I][Enter].isZero())
+        continue;
+      Rational F = T[I][Enter];
+      for (unsigned J = 0; J <= Cols; ++J)
+        T[I][J] -= F * T[Leave][J];
+    }
+    if (!Z[Enter].isZero()) {
+      Rational F = Z[Enter];
+      for (unsigned J = 0; J <= Cols; ++J)
+        Z[J] -= F * T[Leave][J];
+    }
+    Basis[Leave] = Enter;
+  }
+
+  // Feasible iff every artificial is (effectively) zero: objective RHS == 0.
+  return Z[Cols].isZero();
+}
+
+} // namespace
+
+bool Polyhedron::isEmpty() const {
+  // Cheap scan first: an explicitly infeasible constant row.
+  for (const auto &C : Cs)
+    if (C.isTautologyShape() && C.Const < 0)
+      return true;
+  return !rationalFeasible(Cs, NumVars);
+}
+
+bool Polyhedron::isRedundant(const PolyConstraint &C) const {
+  // C is redundant iff (this minus C) intersected with the integer negation
+  // of C (-e - 1 >= 0) is empty.
+  Polyhedron Test(NumVars);
+  for (const auto &Other : Cs)
+    if (!(Other == C))
+      Test.Cs.push_back(Other);
+  PolyConstraint Neg;
+  Neg.Coeffs.resize(NumVars);
+  for (unsigned I = 0; I != NumVars; ++I)
+    Neg.Coeffs[I] = -C.Coeffs[I];
+  Neg.Const = -C.Const - 1;
+  normalizeConstraint(Neg);
+  Test.Cs.push_back(std::move(Neg));
+  return Test.isEmpty();
+}
+
+Polyhedron Polyhedron::removeRedundant() const {
+  Polyhedron Res = *this;
+  Res.simplify();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 0; I != Res.Cs.size(); ++I) {
+      if (Res.isRedundant(Res.Cs[I])) {
+        Res.Cs.erase(Res.Cs.begin() + I);
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return Res;
+}
+
+Polyhedron::VarBounds Polyhedron::integerBounds(unsigned Var) const {
+  Polyhedron P = *this;
+  for (unsigned V = 0; V != NumVars; ++V) {
+    if (V == Var)
+      continue;
+    bool Appears = false;
+    for (const auto &C : P.Cs)
+      if (C.Coeffs[V] != 0) {
+        Appears = true;
+        break;
+      }
+    if (Appears)
+      P = P.eliminate(V);
+  }
+  VarBounds B;
+  for (const auto &C : P.Cs) {
+    std::int64_t A = C.Coeffs[Var];
+    if (A == 0) {
+      if (C.Const < 0) {
+        // Infeasible: encode as empty range.
+        B.Lo = 1;
+        B.Hi = 0;
+        return B;
+      }
+      continue;
+    }
+    if (A > 0) {
+      // A*x + K >= 0  =>  x >= ceil(-K / A).
+      Rational Bound(-C.Const, A);
+      std::int64_t Lo = Bound.ceil();
+      if (!B.Lo || *B.Lo < Lo)
+        B.Lo = Lo;
+    } else {
+      // A*x + K >= 0, A < 0  =>  x <= floor(K / -A).
+      Rational Bound(C.Const, -A);
+      std::int64_t Hi = Bound.floor();
+      if (!B.Hi || *B.Hi > Hi)
+        B.Hi = Hi;
+    }
+  }
+  return B;
+}
+
+bool Polyhedron::contains(const std::vector<std::int64_t> &Point) const {
+  assert(Point.size() == NumVars && "point dimension mismatch");
+  for (const auto &C : Cs) {
+    __int128 V = C.Const;
+    for (unsigned I = 0; I != NumVars; ++I)
+      V += static_cast<__int128>(C.Coeffs[I]) * Point[I];
+    if (V < 0)
+      return false;
+  }
+  return true;
+}
+
+Polyhedron Polyhedron::intersect(const Polyhedron &A, const Polyhedron &B) {
+  assert(A.NumVars == B.NumVars && "dimension mismatch");
+  Polyhedron Res = A;
+  for (const auto &C : B.Cs)
+    Res.Cs.push_back(C);
+  Res.simplify();
+  return Res;
+}
+
+long long Polyhedron::countRecursive(
+    std::vector<unsigned> RemainingVars, long long Limit,
+    std::vector<std::vector<std::int64_t>> *Points,
+    std::vector<std::int64_t> &Prefix) const {
+  if (RemainingVars.empty()) {
+    for (const auto &C : Cs)
+      if (C.isTautologyShape() && C.Const < 0)
+        return 0;
+    if (Points)
+      Points->push_back(Prefix);
+    return 1;
+  }
+  unsigned V = RemainingVars.front();
+  std::vector<unsigned> Rest(RemainingVars.begin() + 1, RemainingVars.end());
+
+  Polyhedron ForBounds = eliminateAll(Rest);
+  VarBounds B = ForBounds.integerBounds(V);
+  if (!B.Lo || !B.Hi)
+    return -1; // Unbounded.
+  long long Total = 0;
+  for (std::int64_t X = *B.Lo; X <= *B.Hi; ++X) {
+    Polyhedron Sub = instantiate(V, X);
+    Prefix[V] = X;
+    long long N = Sub.countRecursive(Rest, Limit - Total, Points, Prefix);
+    if (N < 0)
+      return N;
+    Total += N;
+    if (Total > Limit)
+      return -2; // Over limit.
+  }
+  return Total;
+}
+
+std::optional<long long>
+Polyhedron::countIntegerPoints(long long Limit) const {
+  // Count only over variables that actually appear; absent variables are
+  // unconstrained and would make the set infinite, except that callers count
+  // projected/instantiated polyhedra where absent variables are intentional
+  // free dimensions with exactly one relevant value. We treat a variable
+  // with no constraints as contributing a factor of 1 (i.e. we count the
+  // projection onto the constrained variables).
+  std::vector<unsigned> Vars;
+  for (unsigned V = 0; V != NumVars; ++V)
+    for (const auto &C : Cs)
+      if (C.Coeffs[V] != 0) {
+        Vars.push_back(V);
+        break;
+      }
+  std::vector<std::int64_t> Prefix(NumVars, 0);
+  long long N = countRecursive(Vars, Limit, nullptr, Prefix);
+  if (N < 0)
+    return std::nullopt;
+  return N;
+}
+
+std::vector<std::vector<std::int64_t>>
+Polyhedron::enumerateIntegerPoints(long long Limit) const {
+  std::vector<unsigned> Vars;
+  for (unsigned V = 0; V != NumVars; ++V)
+    for (const auto &C : Cs)
+      if (C.Coeffs[V] != 0) {
+        Vars.push_back(V);
+        break;
+      }
+  std::vector<std::vector<std::int64_t>> Points;
+  std::vector<std::int64_t> Prefix(NumVars, 0);
+  [[maybe_unused]] long long N = countRecursive(Vars, Limit, &Points, Prefix);
+  assert(N >= 0 && "enumeration of unbounded or oversized polyhedron");
+  return Points;
+}
+
+std::string Polyhedron::str() const {
+  std::string S = strfmt("{ %u vars:\n", NumVars);
+  for (const auto &C : Cs)
+    S += "  " + C.str() + "\n";
+  return S + "}";
+}

@@ -1,0 +1,142 @@
+//===- poly/Polyhedron.h - Integer H-polyhedra ------------------*- C++ -*-===//
+//
+// Part of daecc, a reproduction of "Fix the code. Don't tweak the hardware"
+// (CGO 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constraint-represented (H-form) polyhedra over integer points, standing in
+/// for PolyLib in the paper's pipeline. Supports exactly the operations the
+/// access-phase generator needs:
+///
+///  * building iteration domains and access images from affine constraints,
+///  * Fourier-Motzkin variable elimination (projection),
+///  * emptiness and redundancy tests,
+///  * variable substitution (parameter instantiation),
+///  * per-variable integer bounds extraction (loop-nest synthesis), and
+///  * exact lattice-point counting by recursive projection/enumeration
+///    (NOrig/NconvUn of section 5.1.2).
+///
+/// Constraints are normalized for *integer* solutions: each inequality
+/// sum(c_i x_i) + k >= 0 is divided by g = gcd(c_i) with k tightened to
+/// floor(k/g), which is sound over Z (the only solution domain we care
+/// about).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_POLY_POLYHEDRON_H
+#define DAECC_POLY_POLYHEDRON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dae {
+namespace poly {
+
+/// One linear inequality sum(Coeffs[i] * x_i) + Const >= 0.
+struct PolyConstraint {
+  std::vector<std::int64_t> Coeffs;
+  std::int64_t Const = 0;
+
+  bool operator==(const PolyConstraint &R) const {
+    return Coeffs == R.Coeffs && Const == R.Const;
+  }
+  bool operator<(const PolyConstraint &R) const {
+    if (Coeffs != R.Coeffs)
+      return Coeffs < R.Coeffs;
+    return Const < R.Const;
+  }
+
+  /// True when every variable coefficient is zero.
+  bool isTautologyShape() const;
+  /// Renders e.g. "2*x0 - x1 + 3 >= 0".
+  std::string str() const;
+};
+
+/// A conjunction of linear inequalities over a fixed number of variables,
+/// interpreted as its set of integer solutions.
+class Polyhedron {
+public:
+  explicit Polyhedron(unsigned NumVars) : NumVars(NumVars) {}
+
+  unsigned getNumVars() const { return NumVars; }
+  const std::vector<PolyConstraint> &constraints() const { return Cs; }
+  unsigned getNumConstraints() const {
+    return static_cast<unsigned>(Cs.size());
+  }
+
+  /// Adds sum(Coeffs[i] * x_i) + Const >= 0.
+  void addInequality(std::vector<std::int64_t> Coeffs, std::int64_t Const);
+  /// Adds sum(Coeffs[i] * x_i) + Const == 0 (stored as two inequalities).
+  void addEquality(std::vector<std::int64_t> Coeffs, std::int64_t Const);
+  /// Convenience: Lo <= x_Var (as x_Var - Lo >= 0).
+  void addLowerBound(unsigned Var, std::int64_t Lo);
+  /// Convenience: x_Var <= Hi.
+  void addUpperBound(unsigned Var, std::int64_t Hi);
+
+  /// Returns a copy with variable \p Var eliminated by Fourier-Motzkin; the
+  /// variable remains in the coordinate system but unconstrained.
+  Polyhedron eliminate(unsigned Var) const;
+  /// Eliminates every variable in \p Vars.
+  Polyhedron eliminateAll(const std::vector<unsigned> &Vars) const;
+
+  /// Returns a copy with x_Var fixed to \p Value.
+  Polyhedron instantiate(unsigned Var, std::int64_t Value) const;
+
+  /// True when no rational point satisfies the (integer-tightened)
+  /// constraints. An exact emptiness test for the integer sets produced by
+  /// loop bounds in practice; used for feasibility and redundancy checks.
+  bool isEmpty() const;
+
+  /// True when dropping \p C from this polyhedron does not change the
+  /// solution set (checked against integer-tightened rational relaxation).
+  bool isRedundant(const PolyConstraint &C) const;
+  /// Returns a copy with redundant constraints removed (quadratic; intended
+  /// for the small systems of loop nests).
+  Polyhedron removeRedundant() const;
+
+  /// Integer bounds of x_Var with all other variables eliminated. Each side
+  /// is nullopt when unbounded.
+  struct VarBounds {
+    std::optional<std::int64_t> Lo;
+    std::optional<std::int64_t> Hi;
+  };
+  VarBounds integerBounds(unsigned Var) const;
+
+  /// Exact number of integer points, or nullopt when the count exceeds
+  /// \p Limit or the set is unbounded.
+  std::optional<long long> countIntegerPoints(long long Limit = 100000000) const;
+
+  /// Enumerates all integer points (ascending lexicographic); asserts the
+  /// set is bounded and within \p Limit points.
+  std::vector<std::vector<std::int64_t>> enumerateIntegerPoints(
+      long long Limit = 1000000) const;
+
+  /// True when \p Point satisfies all constraints.
+  bool contains(const std::vector<std::int64_t> &Point) const;
+
+  /// Intersection of two polyhedra over the same space.
+  static Polyhedron intersect(const Polyhedron &A, const Polyhedron &B);
+
+  /// Normalizes, dedups, and drops pairwise-subsumed constraints.
+  void simplify();
+
+  std::string str() const;
+
+private:
+  long long countRecursive(std::vector<unsigned> RemainingVars,
+                           long long Limit,
+                           std::vector<std::vector<std::int64_t>> *Points,
+                           std::vector<std::int64_t> &Prefix) const;
+
+  unsigned NumVars;
+  std::vector<PolyConstraint> Cs;
+};
+
+} // namespace poly
+} // namespace dae
+
+#endif // DAECC_POLY_POLYHEDRON_H

@@ -1,0 +1,138 @@
+//===- runtime/Evaluator.cpp - DVFS schedule pricing -------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Evaluator.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace dae;
+using namespace dae::runtime;
+using namespace dae::sim;
+
+namespace {
+
+/// Ladder frequency minimizing the local EDP of one phase: EDP_phase =
+/// t(f)^2 * P(f) = t(f) * E(f).
+double bestEdpFrequency(const PhaseStats &S, const MachineConfig &Cfg,
+                        const PowerModel &PM) {
+  double BestF = Cfg.fmax();
+  double BestEdp = -1.0;
+  for (double F : Cfg.FrequenciesGHz) {
+    double T = S.timeNs(F) * 1e-9;
+    double Edp = T * PM.phaseEnergy(S, F);
+    if (BestEdp < 0.0 || Edp < BestEdp) {
+      BestEdp = Edp;
+      BestF = F;
+    }
+  }
+  return BestF;
+}
+
+} // namespace
+
+RunReport runtime::evaluate(const RunProfile &Profile,
+                            const MachineConfig &Cfg,
+                            const EvalConfig &Eval) {
+  PowerModel PM(Cfg);
+  const double TransNs =
+      Eval.TransitionNs >= 0.0 ? Eval.TransitionNs : Cfg.DvfsTransitionNs;
+
+  RunReport R;
+  R.NumTasks = Profile.Tasks.size();
+
+  std::vector<double> CoreBusyNs(Profile.NumCores, 0.0);
+  std::vector<double> CoreEnergyJ(Profile.NumCores, 0.0);
+  std::vector<double> CoreFreq(Profile.NumCores, Cfg.fmax());
+
+  auto RunPhase = [&](unsigned Core, const PhaseStats &S, double FreqGHz,
+                      bool IsAccess) {
+    // Frequency switch: latency + static-only energy (section 6.1).
+    if (TransNs > 0.0 && std::abs(CoreFreq[Core] - FreqGHz) > 1e-9) {
+      CoreBusyNs[Core] += TransNs;
+      CoreEnergyJ[Core] +=
+          PM.staticPowerPerCore(FreqGHz) * TransNs * 1e-9;
+      R.OsiTimeSec += TransNs * 1e-9;
+      ++R.NumTransitions;
+      CoreFreq[Core] = FreqGHz;
+    }
+    double TNs = S.timeNs(FreqGHz);
+    CoreBusyNs[Core] += TNs;
+    CoreEnergyJ[Core] += PM.phaseEnergy(S, FreqGHz);
+    (IsAccess ? R.AccessTimeSec : R.ExecuteTimeSec) += TNs * 1e-9;
+  };
+
+  double IdleEnergyJ = 0.0;
+  double MakespanNs = 0.0;
+
+  // Process wave by wave: within a wave cores run their assigned phases;
+  // the barrier advances every core to the wave's completion time, with
+  // idle cores in their sleep state (section 3.1).
+  size_t I = 0;
+  while (I != Profile.Tasks.size()) {
+    unsigned Wave = Profile.Tasks[I].Wave;
+    std::vector<double> WaveBusyNs(Profile.NumCores, 0.0);
+    for (; I != Profile.Tasks.size() && Profile.Tasks[I].Wave == Wave; ++I) {
+      const TaskProfile &T = Profile.Tasks[I];
+      unsigned Core = T.Core;
+      double Before = CoreBusyNs[Core];
+      if (T.HasAccess) {
+        double FA = Eval.Policy == FreqPolicy::OptimalEdp
+                        ? bestEdpFrequency(T.Access, Cfg, PM)
+                        : Eval.AccessFreqGHz;
+        RunPhase(Core, T.Access, FA, /*IsAccess=*/true);
+      }
+      double FE = Eval.Policy == FreqPolicy::OptimalEdp
+                      ? bestEdpFrequency(T.Execute, Cfg, PM)
+                      : Eval.ExecFreqGHz;
+      RunPhase(Core, T.Execute, FE, /*IsAccess=*/false);
+
+      // Runtime bookkeeping (dequeue/hand-off) at the execute frequency.
+      double OverheadNs = Profile.PerTaskOverheadCycles / FE;
+      CoreBusyNs[Core] += OverheadNs;
+      PhaseStats Overhead;
+      Overhead.ComputeCycles = Profile.PerTaskOverheadCycles;
+      Overhead.Instructions =
+          static_cast<std::uint64_t>(Profile.PerTaskOverheadCycles);
+      CoreEnergyJ[Core] += PM.phaseEnergy(Overhead, FE);
+      R.OsiTimeSec += OverheadNs * 1e-9;
+      WaveBusyNs[Core] += CoreBusyNs[Core] - Before;
+    }
+    // Barrier.
+    double WaveEndNs = 0.0;
+    for (double Busy : CoreBusyNs)
+      WaveEndNs = std::max(WaveEndNs, Busy);
+    for (unsigned C = 0; C != Profile.NumCores; ++C) {
+      double IdleNs = WaveEndNs - CoreBusyNs[C];
+      IdleEnergyJ += PM.sleepPowerPerCore() * IdleNs * 1e-9;
+      R.OsiTimeSec += IdleNs * 1e-9;
+      CoreBusyNs[C] = WaveEndNs;
+    }
+    MakespanNs = WaveEndNs;
+  }
+
+  double Energy = IdleEnergyJ;
+  for (unsigned C = 0; C != Profile.NumCores; ++C)
+    Energy += CoreEnergyJ[C];
+  Energy += PM.uncorePower() * MakespanNs * 1e-9;
+
+  R.TimeSec = MakespanNs * 1e-9;
+  R.EnergyJ = Energy;
+  R.EdpJs = R.TimeSec * R.EnergyJ;
+  return R;
+}
+
+RunReport runtime::evaluateCoupled(const RunProfile &Profile,
+                                   const MachineConfig &Cfg, double FreqGHz,
+                                   double TransitionNs) {
+  EvalConfig Eval;
+  Eval.Policy = FreqPolicy::Fixed;
+  Eval.AccessFreqGHz = FreqGHz;
+  Eval.ExecFreqGHz = FreqGHz;
+  Eval.TransitionNs = TransitionNs;
+  return evaluate(Profile, Cfg, Eval);
+}

@@ -1,0 +1,95 @@
+//===- runtime/Runtime.cpp - DAE task runtime --------------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "ir/Function.h"
+#include "sim/Interpreter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace dae;
+using namespace dae::runtime;
+using namespace dae::sim;
+
+TaskRuntime::TaskRuntime(const MachineConfig &Cfg, Memory &Mem,
+                         const sim::Loader &L)
+    : Cfg(Cfg), Mem(Mem), Loader(L) {}
+
+RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
+                                bool RunAccess) {
+  const unsigned NumCores = Cfg.NumCores;
+  CacheHierarchy Caches(Cfg, NumCores);
+  Interpreter Interp(Cfg, Mem, Caches, Loader);
+
+  RunProfile Profile;
+  Profile.NumCores = NumCores;
+  Profile.Tasks.reserve(Tasks.size());
+
+  // Group into dependency waves; the runtime barriers between them.
+  std::map<unsigned, std::vector<const Task *>> Waves;
+  for (const Task &T : Tasks)
+    Waves[T.Wave].push_back(&T);
+
+  std::vector<double> CoreTimeNs(NumCores, 0.0);
+  for (auto &[WaveId, WaveTasks] : Waves) {
+    // Round-robin seeding (owner pops front, thieves steal from the back).
+    std::vector<std::deque<const Task *>> Queues(NumCores);
+    for (size_t I = 0; I != WaveTasks.size(); ++I)
+      Queues[I % NumCores].push_back(WaveTasks[I]);
+
+    size_t Remaining = WaveTasks.size();
+    while (Remaining > 0) {
+      // The core with the smallest simulated time runs next. Ordering uses
+      // fmax; the evaluator reprices per policy afterwards.
+      unsigned Core = 0;
+      for (unsigned C = 1; C != NumCores; ++C)
+        if (CoreTimeNs[C] < CoreTimeNs[Core])
+          Core = C;
+
+      const Task *T = nullptr;
+      if (!Queues[Core].empty()) {
+        T = Queues[Core].front();
+        Queues[Core].pop_front();
+      } else {
+        unsigned Victim = NumCores;
+        for (unsigned C = 0; C != NumCores; ++C)
+          if (!Queues[C].empty() &&
+              (Victim == NumCores ||
+               Queues[C].size() > Queues[Victim].size()))
+            Victim = C;
+        if (Victim == NumCores)
+          break;
+        T = Queues[Victim].back();
+        Queues[Victim].pop_back();
+      }
+
+      TaskProfile TP;
+      TP.Core = Core;
+      TP.Wave = WaveId;
+      if (RunAccess && T->Access) {
+        TP.HasAccess = true;
+        TP.Access = Interp.run(*T->Access, Core, T->Args);
+      }
+      TP.Execute = Interp.run(*T->Execute, Core, T->Args);
+      CoreTimeNs[Core] += TP.Access.timeNs(Cfg.fmax()) +
+                          TP.Execute.timeNs(Cfg.fmax()) +
+                          Profile.PerTaskOverheadCycles / Cfg.fmax();
+      Profile.Tasks.push_back(std::move(TP));
+      --Remaining;
+    }
+
+    // Barrier: every core advances to the wave's completion time.
+    double WaveEnd = *std::max_element(CoreTimeNs.begin(), CoreTimeNs.end());
+    for (double &T : CoreTimeNs)
+      T = WaveEnd;
+  }
+  assert(Profile.Tasks.size() == Tasks.size() && "lost tasks");
+  return Profile;
+}

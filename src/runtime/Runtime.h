@@ -1,0 +1,54 @@
+//===- runtime/Runtime.h - DAE task runtime ---------------------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The task-based runtime of section 3.1: per-core work-stealing deques,
+/// access phase executed immediately before the execute phase on the same
+/// core, per-phase DVFS applied by the evaluator afterwards. Simulation
+/// runs once per scheme; the frequency dimension is priced analytically from
+/// the collected profiles (see sim/PhaseStats.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_RUNTIME_RUNTIME_H
+#define DAECC_RUNTIME_RUNTIME_H
+
+#include "runtime/Task.h"
+#include "sim/CacheSim.h"
+#include "sim/MachineConfig.h"
+#include "sim/Memory.h"
+
+namespace dae {
+
+namespace ir {
+class Module;
+}
+
+namespace runtime {
+
+/// Executes task sets over the simulated machine.
+class TaskRuntime {
+public:
+  /// \p Mem must already hold the workload's initialized data (see
+  /// sim::Loader); caches start cold per run.
+  TaskRuntime(const sim::MachineConfig &Cfg, sim::Memory &Mem,
+              const sim::Loader &Loader);
+
+  /// Runs \p Tasks to completion with work stealing. When \p RunAccess is
+  /// false, access phases are skipped even if present (coupled execution of
+  /// the same binaries). Returns the per-task profiles.
+  RunProfile execute(const std::vector<Task> &Tasks, bool RunAccess = true);
+
+private:
+  const sim::MachineConfig &Cfg;
+  sim::Memory &Mem;
+  const sim::Loader &Loader;
+};
+
+} // namespace runtime
+} // namespace dae
+
+#endif // DAECC_RUNTIME_RUNTIME_H

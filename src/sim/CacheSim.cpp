@@ -1,0 +1,110 @@
+//===- sim/CacheSim.cpp - Set-associative cache hierarchy ------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheSim.h"
+
+#include <cassert>
+
+using namespace dae;
+using namespace dae::sim;
+
+namespace {
+
+unsigned log2u(std::uint64_t V) {
+  unsigned R = 0;
+  while ((1ull << R) < V)
+    ++R;
+  return R;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &Cfg)
+    : LineShift(log2u(Cfg.LineBytes)),
+      NumSets(Cfg.SizeBytes / (Cfg.LineBytes * Cfg.Assoc)), Assoc(Cfg.Assoc),
+      Lines(NumSets * Cfg.Assoc) {
+  assert(NumSets > 0 && (NumSets & (NumSets - 1)) == 0 &&
+         "set count must be a power of two");
+}
+
+bool Cache::access(std::uint64_t Addr) {
+  std::uint64_t LineAddr = Addr >> LineShift;
+  std::uint64_t Set = LineAddr & (NumSets - 1);
+  Line *Base = &Lines[Set * Assoc];
+  ++Tick;
+
+  for (unsigned W = 0; W != Assoc; ++W) {
+    Line &L = Base[W];
+    if (L.Valid && L.Tag == LineAddr) {
+      L.Lru = Tick;
+      ++Hits;
+      return true;
+    }
+  }
+  // Miss: evict the first invalid way, else the least recently used.
+  Line *Victim = Base;
+  for (unsigned W = 1; W != Assoc && Victim->Valid; ++W) {
+    Line &L = Base[W];
+    if (!L.Valid || L.Lru < Victim->Lru)
+      Victim = &L;
+  }
+  Victim->Valid = true;
+  Victim->Tag = LineAddr;
+  Victim->Lru = Tick;
+  ++Misses;
+  return false;
+}
+
+bool Cache::probe(std::uint64_t Addr) const {
+  std::uint64_t LineAddr = Addr >> LineShift;
+  std::uint64_t Set = LineAddr & (NumSets - 1);
+  const Line *Base = &Lines[Set * Assoc];
+  for (unsigned W = 0; W != Assoc; ++W)
+    if (Base[W].Valid && Base[W].Tag == LineAddr)
+      return true;
+  return false;
+}
+
+void Cache::flush() {
+  for (Line &L : Lines)
+    L = Line();
+  Hits = Misses = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const MachineConfig &Cfg, unsigned NumCores)
+    : NextLinePrefetch(Cfg.HwNextLinePrefetch), LineBytes(Cfg.L1.LineBytes) {
+  for (unsigned I = 0; I != NumCores; ++I) {
+    L1s.push_back(std::make_unique<Cache>(Cfg.L1));
+    L2s.push_back(std::make_unique<Cache>(Cfg.L2));
+  }
+  Llc = std::make_unique<Cache>(Cfg.LLC);
+}
+
+HitLevel CacheHierarchy::access(unsigned Core, std::uint64_t Addr) {
+  assert(Core < L1s.size() && "core index out of range");
+  if (L1s[Core]->access(Addr))
+    return HitLevel::L1;
+  if (L2s[Core]->access(Addr))
+    return HitLevel::L2;
+  if (Llc->access(Addr))
+    return HitLevel::LLC;
+  if (NextLinePrefetch) {
+    // Pull the successor line toward the core so a sequential stream only
+    // pays DRAM latency on every other line.
+    std::uint64_t NextLine = Addr + LineBytes;
+    L2s[Core]->access(NextLine);
+    Llc->access(NextLine);
+  }
+  return HitLevel::Memory;
+}
+
+void CacheHierarchy::flush() {
+  for (auto &C : L1s)
+    C->flush();
+  for (auto &C : L2s)
+    C->flush();
+  Llc->flush();
+}

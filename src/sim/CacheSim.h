@@ -1,0 +1,88 @@
+//===- sim/CacheSim.h - Set-associative cache hierarchy ---------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic set-associative LRU cache model: private L1/L2 per core and a
+/// shared LLC. Only tags are modeled (data lives in sim::Memory). The paper's
+/// whole premise rides on this state: the access phase warms the private
+/// hierarchy so the execute phase becomes compute-bound (section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_SIM_CACHESIM_H
+#define DAECC_SIM_CACHESIM_H
+
+#include "sim/MachineConfig.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dae {
+namespace sim {
+
+/// Where an access was satisfied.
+enum class HitLevel { L1, L2, LLC, Memory };
+
+/// One set-associative LRU cache level (tag store only).
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Cfg);
+
+  /// True on hit; on miss the line is installed (evicting LRU).
+  bool access(std::uint64_t Addr);
+  /// True when the line is present (no state change).
+  bool probe(std::uint64_t Addr) const;
+  /// Drops all lines.
+  void flush();
+
+  std::uint64_t hits() const { return Hits; }
+  std::uint64_t misses() const { return Misses; }
+
+private:
+  struct Line {
+    std::uint64_t Tag = ~0ull;
+    std::uint64_t Lru = 0;
+    bool Valid = false;
+  };
+
+  unsigned LineShift;
+  std::uint64_t NumSets;
+  unsigned Assoc;
+  std::vector<Line> Lines;
+  std::uint64_t Tick = 0;
+  std::uint64_t Hits = 0, Misses = 0;
+};
+
+/// Per-core L1/L2 over a shared LLC.
+class CacheHierarchy {
+public:
+  CacheHierarchy(const MachineConfig &Cfg, unsigned NumCores);
+
+  /// Performs a (read or write) access from \p Core; returns the level that
+  /// satisfied it and installs the line in every level above. On a DRAM
+  /// miss, the hardware next-line prefetcher (when configured) also installs
+  /// the successor line into the core's L2.
+  HitLevel access(unsigned Core, std::uint64_t Addr);
+
+  /// Drops all lines everywhere.
+  void flush();
+
+  Cache &l1(unsigned Core) { return *L1s[Core]; }
+  Cache &l2(unsigned Core) { return *L2s[Core]; }
+  Cache &llc() { return *Llc; }
+
+private:
+  bool NextLinePrefetch;
+  unsigned LineBytes;
+  std::vector<std::unique_ptr<Cache>> L1s, L2s;
+  std::unique_ptr<Cache> Llc;
+};
+
+} // namespace sim
+} // namespace dae
+
+#endif // DAECC_SIM_CACHESIM_H

@@ -1,0 +1,476 @@
+//===- sim/Interpreter.cpp - Task IR interpreter ----------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Interpreter.h"
+
+#include "ir/Module.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::sim;
+
+namespace {
+
+/// Core-clocked cost of an instruction (cycles), excluding memory effects.
+double instCycles(const Instruction &I, const MachineConfig &Cfg) {
+  switch (I.getKind()) {
+  case ValueKind::InstBinary:
+    switch (cast<BinaryInst>(&I)->getOpcode()) {
+    case BinOp::FDiv:
+    case BinOp::SDiv:
+    case BinOp::SRem:
+      return Cfg.DivCycles;
+    case BinOp::FMul:
+    case BinOp::FAdd:
+    case BinOp::FSub:
+      return Cfg.FpOpCycles;
+    default:
+      return Cfg.SimpleOpCycles;
+    }
+  case ValueKind::InstPhi:
+    return 0.0;
+  case ValueKind::InstCall:
+    return 2.0 * Cfg.SimpleOpCycles;
+  default:
+    return Cfg.SimpleOpCycles;
+  }
+}
+
+/// An operand resolved at compile time: either an immediate or a slot.
+struct OperandRef {
+  bool IsImm = false;
+  RuntimeValue Imm;
+  unsigned Slot = 0;
+};
+
+struct CompiledInstr {
+  const Instruction *I = nullptr;
+  int DstSlot = -1; ///< -1 for void results.
+  double Cycles = 0.0;
+  std::vector<OperandRef> Ops;
+  // Branch successors / phi incoming block indices.
+  int BlockA = -1, BlockB = -1;
+  std::vector<unsigned> PhiPredIndex; ///< Parallel to Ops for phis.
+};
+
+struct CompiledBlock {
+  std::vector<CompiledInstr> Phis;
+  std::vector<CompiledInstr> Body;
+};
+
+} // namespace
+
+namespace dae {
+namespace sim {
+
+/// Slot-addressed executable form of one function.
+class CompiledFunction {
+public:
+  CompiledFunction(const Function &F, const Loader &L,
+                   const MachineConfig &Cfg) {
+    std::map<const BasicBlock *, unsigned> BlockIndex;
+    unsigned Idx = 0;
+    for (const auto &BB : F)
+      BlockIndex[BB.get()] = Idx++;
+
+    for (const auto &A : F.args())
+      Slots[A.get()] = NumSlots++;
+    for (const auto &BB : F)
+      for (const auto &I : *BB)
+        if (I->getType() != Type::Void)
+          Slots[I.get()] = NumSlots++;
+
+    auto MakeOp = [&](Value *V) {
+      OperandRef R;
+      if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+        R.IsImm = true;
+        R.Imm = RuntimeValue::ofInt(CI->getValue());
+      } else if (const auto *CF = dyn_cast<ConstantFloat>(V)) {
+        R.IsImm = true;
+        R.Imm = RuntimeValue::ofFloat(CF->getValue());
+      } else if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+        R.IsImm = true;
+        R.Imm = RuntimeValue::ofInt(
+            static_cast<std::int64_t>(L.baseOf(G)));
+      } else {
+        auto It = Slots.find(V);
+        assert(It != Slots.end() && "operand without a slot");
+        R.Slot = It->second;
+      }
+      return R;
+    };
+
+    Blocks.resize(Idx);
+    unsigned B = 0;
+    for (const auto &BB : F) {
+      CompiledBlock &CB = Blocks[B++];
+      for (const auto &IPtr : *BB) {
+        const Instruction *I = IPtr.get();
+        CompiledInstr CI;
+        CI.I = I;
+        CI.Cycles = instCycles(*I, Cfg);
+        auto SlotIt = Slots.find(I);
+        CI.DstSlot = SlotIt == Slots.end() ? -1 : static_cast<int>(SlotIt->second);
+        if (const auto *Phi = dyn_cast<PhiInst>(I)) {
+          for (unsigned J = 0; J != Phi->getNumIncoming(); ++J) {
+            CI.Ops.push_back(MakeOp(Phi->getIncomingValue(J)));
+            CI.PhiPredIndex.push_back(
+                BlockIndex.at(Phi->getIncomingBlock(J)));
+          }
+          CB.Phis.push_back(std::move(CI));
+          continue;
+        }
+        for (Value *Op : I->operands())
+          CI.Ops.push_back(MakeOp(Op));
+        if (const auto *Br = dyn_cast<BrInst>(I)) {
+          CI.BlockA = static_cast<int>(BlockIndex.at(Br->getTrueDest()));
+          if (Br->isConditional())
+            CI.BlockB = static_cast<int>(BlockIndex.at(Br->getFalseDest()));
+        }
+        CB.Body.push_back(std::move(CI));
+      }
+    }
+  }
+
+  unsigned numSlots() const { return NumSlots; }
+  const std::vector<CompiledBlock> &blocks() const { return Blocks; }
+  unsigned argSlot(unsigned I) const { return I; } // Args get the first slots.
+
+private:
+  std::map<const Value *, unsigned> Slots;
+  unsigned NumSlots = 0;
+  std::vector<CompiledBlock> Blocks;
+};
+
+} // namespace sim
+} // namespace dae
+
+Interpreter::Interpreter(const MachineConfig &Cfg, Memory &Mem,
+                         CacheHierarchy &Caches, const Loader &L)
+    : Cfg(Cfg), Mem(Mem), Caches(Caches), Load(L) {}
+
+Interpreter::~Interpreter() = default;
+
+const CompiledFunction &Interpreter::getCompiled(const Function &F) {
+  auto It = Cache.find(&F);
+  if (It == Cache.end())
+    It = Cache.emplace(&F,
+                       std::make_unique<CompiledFunction>(F, Load, Cfg))
+             .first;
+  return *It->second;
+}
+
+PhaseStats Interpreter::run(const Function &F, unsigned Core,
+                            const std::vector<RuntimeValue> &Args,
+                            RuntimeValue *RetOut) {
+  assert(Args.size() == F.getNumArgs() && "argument count mismatch");
+  const CompiledFunction &CF = getCompiled(F);
+
+  PhaseStats S;
+  std::vector<RuntimeValue> Env(CF.numSlots());
+  for (unsigned I = 0; I != Args.size(); ++I)
+    Env[CF.argSlot(I)] = Args[I];
+
+  auto Get = [&](const OperandRef &R) -> const RuntimeValue & {
+    return R.IsImm ? R.Imm : Env[R.Slot];
+  };
+
+  int Block = 0;
+  int PrevBlock = -1;
+  std::vector<RuntimeValue> PhiTemp;
+
+  while (Block >= 0) {
+    const CompiledBlock &CB = CF.blocks()[static_cast<unsigned>(Block)];
+
+    // Phis read their inputs simultaneously on entry.
+    if (!CB.Phis.empty()) {
+      PhiTemp.clear();
+      for (const CompiledInstr &CI : CB.Phis) {
+        bool Found = false;
+        for (unsigned J = 0; J != CI.PhiPredIndex.size(); ++J)
+          if (static_cast<int>(CI.PhiPredIndex[J]) == PrevBlock) {
+            PhiTemp.push_back(Get(CI.Ops[J]));
+            Found = true;
+            break;
+          }
+        assert(Found && "phi has no entry for the incoming edge");
+        if (!Found)
+          PhiTemp.push_back(RuntimeValue());
+        S.Instructions++;
+      }
+      for (unsigned J = 0; J != CB.Phis.size(); ++J)
+        Env[static_cast<unsigned>(CB.Phis[J].DstSlot)] = PhiTemp[J];
+    }
+
+    int Next = -1;
+    for (const CompiledInstr &CI : CB.Body) {
+      const Instruction *I = CI.I;
+      ++S.Instructions;
+      S.ComputeCycles += CI.Cycles;
+
+      switch (I->getKind()) {
+      case ValueKind::InstBinary: {
+        const auto *Bin = cast<BinaryInst>(I);
+        const RuntimeValue &L = Get(CI.Ops[0]);
+        const RuntimeValue &R = Get(CI.Ops[1]);
+        RuntimeValue Out;
+        switch (Bin->getOpcode()) {
+        case BinOp::Add:
+          Out.I = L.I + R.I;
+          break;
+        case BinOp::Sub:
+          Out.I = L.I - R.I;
+          break;
+        case BinOp::Mul:
+          Out.I = L.I * R.I;
+          break;
+        case BinOp::SDiv:
+          Out.I = R.I != 0 ? L.I / R.I : 0;
+          break;
+        case BinOp::SRem:
+          Out.I = R.I != 0 ? L.I % R.I : 0;
+          break;
+        case BinOp::And:
+          Out.I = L.I & R.I;
+          break;
+        case BinOp::Or:
+          Out.I = L.I | R.I;
+          break;
+        case BinOp::Xor:
+          Out.I = L.I ^ R.I;
+          break;
+        case BinOp::Shl:
+          Out.I = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(L.I)
+              << (static_cast<std::uint64_t>(R.I) & 63));
+          break;
+        case BinOp::AShr:
+          Out.I = L.I >> (static_cast<std::uint64_t>(R.I) & 63);
+          break;
+        case BinOp::FAdd:
+          Out.D = L.D + R.D;
+          break;
+        case BinOp::FSub:
+          Out.D = L.D - R.D;
+          break;
+        case BinOp::FMul:
+          Out.D = L.D * R.D;
+          break;
+        case BinOp::FDiv:
+          Out.D = L.D / R.D;
+          break;
+        }
+        Env[static_cast<unsigned>(CI.DstSlot)] = Out;
+        break;
+      }
+      case ValueKind::InstCmp: {
+        const auto *Cmp = cast<CmpInst>(I);
+        const RuntimeValue &L = Get(CI.Ops[0]);
+        const RuntimeValue &R = Get(CI.Ops[1]);
+        bool B = false;
+        switch (Cmp->getPredicate()) {
+        case CmpPred::EQ:
+          B = L.I == R.I;
+          break;
+        case CmpPred::NE:
+          B = L.I != R.I;
+          break;
+        case CmpPred::SLT:
+          B = L.I < R.I;
+          break;
+        case CmpPred::SLE:
+          B = L.I <= R.I;
+          break;
+        case CmpPred::SGT:
+          B = L.I > R.I;
+          break;
+        case CmpPred::SGE:
+          B = L.I >= R.I;
+          break;
+        case CmpPred::FLT:
+          B = L.D < R.D;
+          break;
+        case CmpPred::FLE:
+          B = L.D <= R.D;
+          break;
+        case CmpPred::FGT:
+          B = L.D > R.D;
+          break;
+        case CmpPred::FGE:
+          B = L.D >= R.D;
+          break;
+        case CmpPred::FEQ:
+          B = L.D == R.D;
+          break;
+        case CmpPred::FNE:
+          B = L.D != R.D;
+          break;
+        }
+        Env[static_cast<unsigned>(CI.DstSlot)] = RuntimeValue::ofInt(B);
+        break;
+      }
+      case ValueKind::InstSelect: {
+        const RuntimeValue &C = Get(CI.Ops[0]);
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            C.I != 0 ? Get(CI.Ops[1]) : Get(CI.Ops[2]);
+        break;
+      }
+      case ValueKind::InstCast: {
+        const auto *Cast = dae::cast<CastInst>(I);
+        const RuntimeValue &V = Get(CI.Ops[0]);
+        RuntimeValue Out;
+        switch (Cast->getOpcode()) {
+        case CastOp::SIToFP:
+          Out.D = static_cast<double>(V.I);
+          break;
+        case CastOp::FPToSI:
+          Out.I = static_cast<std::int64_t>(V.D);
+          break;
+        case CastOp::PtrToInt:
+        case CastOp::IntToPtr:
+          Out.I = V.I;
+          break;
+        }
+        Env[static_cast<unsigned>(CI.DstSlot)] = Out;
+        break;
+      }
+      case ValueKind::InstGep: {
+        const auto *Gep = cast<GepInst>(I);
+        std::int64_t Addr = Get(CI.Ops[0]).I;
+        const auto &Dims = Gep->getDimSizes();
+        std::int64_t Linear = 0;
+        for (unsigned J = 1; J != CI.Ops.size(); ++J) {
+          Linear = Linear * (J > 1 ? Dims[J - 1] : 1) + Get(CI.Ops[J]).I;
+        }
+        Addr += Linear * Gep->getElemSize();
+        Env[static_cast<unsigned>(CI.DstSlot)] = RuntimeValue::ofInt(Addr);
+        break;
+      }
+      case ValueKind::InstLoad: {
+        std::uint64_t Addr = static_cast<std::uint64_t>(Get(CI.Ops[0]).I);
+        ++S.Loads;
+        LoadSiteStats *Site = nullptr;
+        if (LoadStats) {
+          Site = &(*LoadStats)[I];
+          ++Site->Count;
+        }
+        switch (Caches.access(Core, Addr)) {
+        case HitLevel::L1:
+          ++S.L1Hits;
+          S.ComputeCycles += Cfg.L1HitCycles;
+          break;
+        case HitLevel::L2:
+          ++S.L2Hits;
+          S.ComputeCycles += Cfg.L2HitCycles;
+          break;
+        case HitLevel::LLC:
+          ++S.LLCHits;
+          S.ComputeCycles += Cfg.LLCHitCycles;
+          break;
+        case HitLevel::Memory:
+          ++S.MemAccesses;
+          S.StallNs += Cfg.MemLatencyNs / Cfg.LoadMlp;
+          if (Site)
+            ++Site->Misses;
+          break;
+        }
+        RuntimeValue Out;
+        if (I->getType() == Type::Float64)
+          Out.D = Mem.loadF64(Addr);
+        else
+          Out.I = Mem.loadI64(Addr);
+        Env[static_cast<unsigned>(CI.DstSlot)] = Out;
+        break;
+      }
+      case ValueKind::InstStore: {
+        std::uint64_t Addr = static_cast<std::uint64_t>(Get(CI.Ops[1]).I);
+        const RuntimeValue &V = Get(CI.Ops[0]);
+        ++S.Stores;
+        switch (Caches.access(Core, Addr)) {
+        case HitLevel::L1:
+          ++S.L1Hits;
+          break;
+        case HitLevel::L2:
+          ++S.L2Hits;
+          S.ComputeCycles += Cfg.L2HitCycles * 0.5;
+          break;
+        case HitLevel::LLC:
+          ++S.LLCHits;
+          S.ComputeCycles += Cfg.LLCHitCycles * 0.5;
+          break;
+        case HitLevel::Memory:
+          ++S.MemAccesses;
+          S.StallNs += Cfg.MemLatencyNs / Cfg.StoreMlp;
+          break;
+        }
+        const StoreInst *St = cast<StoreInst>(I);
+        if (St->getValue()->getType() == Type::Float64)
+          Mem.storeF64(Addr, V.D);
+        else
+          Mem.storeI64(Addr, V.I);
+        break;
+      }
+      case ValueKind::InstPrefetch: {
+        std::uint64_t Addr = static_cast<std::uint64_t>(Get(CI.Ops[0]).I);
+        ++S.Prefetches;
+        // Non-binding: warms the hierarchy, never stalls retirement, but is
+        // throughput-limited by the outstanding-miss capacity.
+        switch (Caches.access(Core, Addr)) {
+        case HitLevel::L1:
+        case HitLevel::L2:
+          break;
+        case HitLevel::LLC:
+          S.StallNs += Cfg.LLCHitCycles / Cfg.fmax() / Cfg.PrefetchMlp;
+          break;
+        case HitLevel::Memory:
+          ++S.MemAccesses;
+          S.StallNs += Cfg.MemLatencyNs / Cfg.PrefetchMlp;
+          break;
+        }
+        break;
+      }
+      case ValueKind::InstBr: {
+        if (CI.Ops.empty())
+          Next = CI.BlockA;
+        else
+          Next = Get(CI.Ops[0]).I != 0 ? CI.BlockA : CI.BlockB;
+        break;
+      }
+      case ValueKind::InstRet: {
+        if (RetOut && !CI.Ops.empty())
+          *RetOut = Get(CI.Ops[0]);
+        Next = -1;
+        break;
+      }
+      case ValueKind::InstCall: {
+        const auto *Call = cast<CallInst>(I);
+        std::vector<RuntimeValue> CallArgs;
+        CallArgs.reserve(CI.Ops.size());
+        for (const OperandRef &Op : CI.Ops)
+          CallArgs.push_back(Get(Op));
+        RuntimeValue Ret;
+        PhaseStats Sub = run(*Call->getCallee(), Core, CallArgs, &Ret);
+        S += Sub;
+        if (CI.DstSlot >= 0)
+          Env[static_cast<unsigned>(CI.DstSlot)] = Ret;
+        break;
+      }
+      default:
+        assert(false && "unhandled instruction in interpreter");
+      }
+
+      if (I->isTerminator())
+        break;
+    }
+    PrevBlock = Block;
+    Block = Next;
+  }
+  return S;
+}

@@ -1,0 +1,82 @@
+//===- sim/Memory.cpp - Simulated flat memory -------------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Memory.h"
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace dae;
+using namespace dae::sim;
+
+std::uint8_t *Memory::pagePtr(std::uint64_t Addr) {
+  std::uint64_t Page = Addr >> PageBits;
+  auto It = Pages.find(Page);
+  if (It == Pages.end()) {
+    auto Mem = std::make_unique<std::uint8_t[]>(PageSize);
+    std::memset(Mem.get(), 0, PageSize);
+    It = Pages.emplace(Page, std::move(Mem)).first;
+  }
+  return It->second.get() + (Addr & (PageSize - 1));
+}
+
+namespace {
+
+/// True when [Addr, Addr+8) stays within one page.
+bool withinPage(std::uint64_t Addr) {
+  return (Addr & 0xfff) <= 0xff8;
+}
+
+} // namespace
+
+std::int64_t Memory::loadI64(std::uint64_t Addr) {
+  assert(withinPage(Addr) && "unaligned cross-page access");
+  std::int64_t V;
+  std::memcpy(&V, pagePtr(Addr), sizeof(V));
+  return V;
+}
+
+double Memory::loadF64(std::uint64_t Addr) {
+  assert(withinPage(Addr) && "unaligned cross-page access");
+  double V;
+  std::memcpy(&V, pagePtr(Addr), sizeof(V));
+  return V;
+}
+
+void Memory::storeI64(std::uint64_t Addr, std::int64_t V) {
+  assert(withinPage(Addr) && "unaligned cross-page access");
+  std::memcpy(pagePtr(Addr), &V, sizeof(V));
+}
+
+void Memory::storeF64(std::uint64_t Addr, double V) {
+  assert(withinPage(Addr) && "unaligned cross-page access");
+  std::memcpy(pagePtr(Addr), &V, sizeof(V));
+}
+
+Loader::Loader(const ir::Module &M, std::uint64_t Base) {
+  std::uint64_t Cursor = Base;
+  for (const auto &G : M.globals()) {
+    Bases[G.get()] = Cursor;
+    ByName[G->getName()] = Cursor;
+    // Line-align and pad so unrelated arrays never share a cache line.
+    std::uint64_t Size = (G->getSizeInBytes() + 63) & ~63ull;
+    Cursor += Size + 64;
+  }
+}
+
+std::uint64_t Loader::baseOf(const ir::GlobalVariable *G) const {
+  auto It = Bases.find(G);
+  assert(It != Bases.end() && "global not loaded");
+  return It->second;
+}
+
+std::uint64_t Loader::baseOf(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  assert(It != ByName.end() && "global not loaded");
+  return It->second;
+}

@@ -1,0 +1,70 @@
+//===- sim/Memory.h - Simulated flat memory ---------------------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse 64-bit byte-addressed memory with a tiny loader that assigns
+/// base addresses to module globals. Workloads initialize their arrays
+/// through it and the interpreter reads/writes through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_SIM_MEMORY_H
+#define DAECC_SIM_MEMORY_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dae {
+
+namespace ir {
+class Module;
+class GlobalVariable;
+} // namespace ir
+
+namespace sim {
+
+/// Sparse simulated memory (4 KiB pages allocated on touch).
+class Memory {
+public:
+  std::int64_t loadI64(std::uint64_t Addr);
+  double loadF64(std::uint64_t Addr);
+  void storeI64(std::uint64_t Addr, std::int64_t V);
+  void storeF64(std::uint64_t Addr, double V);
+
+  /// Number of distinct pages touched (testing/diagnostics).
+  size_t pagesTouched() const { return Pages.size(); }
+
+private:
+  static constexpr std::uint64_t PageBits = 12;
+  static constexpr std::uint64_t PageSize = 1ull << PageBits;
+
+  std::uint8_t *pagePtr(std::uint64_t Addr);
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> Pages;
+};
+
+/// Assigns non-overlapping, line-aligned base addresses to every global of a
+/// module and resolves them by name.
+class Loader {
+public:
+  explicit Loader(const ir::Module &M, std::uint64_t Base = 0x10000);
+
+  std::uint64_t baseOf(const ir::GlobalVariable *G) const;
+  std::uint64_t baseOf(const std::string &Name) const;
+
+private:
+  std::map<const ir::GlobalVariable *, std::uint64_t> Bases;
+  std::map<std::string, std::uint64_t> ByName;
+};
+
+} // namespace sim
+} // namespace dae
+
+#endif // DAECC_SIM_MEMORY_H

@@ -1,0 +1,72 @@
+//===- sim/PhaseStats.h - Frequency-decomposed phase profile ----*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-phase profile in the interval model the paper builds on (Keramidas et
+/// al., reference [13]): work is split into a core-clocked cycle count and a
+/// frequency-independent memory stall time, so the execution time at any
+/// frequency is recovered analytically:
+///
+///   time_ns(f) = ComputeCycles / f_GHz + StallNs
+///
+/// This is exactly why one simulation per scheme suffices to sweep the whole
+/// DVFS ladder, mirroring the paper's "run once per frequency and model"
+/// methodology (section 3.1) without re-running anything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_SIM_PHASESTATS_H
+#define DAECC_SIM_PHASESTATS_H
+
+#include <cstdint>
+
+namespace dae {
+namespace sim {
+
+/// Aggregated execution profile of one phase (access, execute, or coupled).
+struct PhaseStats {
+  std::uint64_t Instructions = 0;
+  double ComputeCycles = 0.0; ///< Core-clocked work (scales with f).
+  double StallNs = 0.0;       ///< Memory time (frequency independent).
+
+  std::uint64_t Loads = 0;
+  std::uint64_t Stores = 0;
+  std::uint64_t Prefetches = 0;
+  std::uint64_t L1Hits = 0;
+  std::uint64_t L2Hits = 0;
+  std::uint64_t LLCHits = 0;
+  std::uint64_t MemAccesses = 0; ///< LLC misses (to DRAM).
+
+  /// Wall-clock time at \p FreqGHz, in nanoseconds.
+  double timeNs(double FreqGHz) const {
+    return ComputeCycles / FreqGHz + StallNs;
+  }
+
+  /// Instructions per cycle at \p FreqGHz (total cycles include stalls).
+  double ipc(double FreqGHz) const {
+    double Cycles = timeNs(FreqGHz) * FreqGHz;
+    return Cycles > 0.0 ? static_cast<double>(Instructions) / Cycles : 0.0;
+  }
+
+  PhaseStats &operator+=(const PhaseStats &R) {
+    Instructions += R.Instructions;
+    ComputeCycles += R.ComputeCycles;
+    StallNs += R.StallNs;
+    Loads += R.Loads;
+    Stores += R.Stores;
+    Prefetches += R.Prefetches;
+    L1Hits += R.L1Hits;
+    L2Hits += R.L2Hits;
+    LLCHits += R.LLCHits;
+    MemAccesses += R.MemAccesses;
+    return *this;
+  }
+};
+
+} // namespace sim
+} // namespace dae
+
+#endif // DAECC_SIM_PHASESTATS_H

@@ -1,0 +1,32 @@
+//===- support/Format.cpp - printf-style string formatting ----------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace dae;
+
+std::string dae::vstrfmt(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, Args);
+  return std::string(Buf.data(), static_cast<size_t>(Needed));
+}
+
+std::string dae::strfmt(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string S = vstrfmt(Fmt, Args);
+  va_end(Args);
+  return S;
+}

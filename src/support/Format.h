@@ -1,0 +1,33 @@
+//===- support/Format.h - printf-style string formatting --------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting helpers used throughout the library in place of iostreams
+/// (which the coding standard forbids in library code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_SUPPORT_FORMAT_H
+#define DAECC_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace dae {
+
+/// printf-style formatting into a std::string.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+strfmt(const char *Fmt, ...);
+
+/// vprintf-style formatting into a std::string.
+std::string vstrfmt(const char *Fmt, va_list Args);
+
+} // namespace dae
+
+#endif // DAECC_SUPPORT_FORMAT_H

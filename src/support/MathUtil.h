@@ -1,0 +1,66 @@
+//===- support/MathUtil.h - Small numeric helpers ---------------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Geometric mean and a deterministic xorshift RNG. The evaluation harness
+/// reports geometric means exactly as Figure 3 of the paper does, and all
+/// synthetic workload inputs are generated from the seeded RNG so every run
+/// of the benchmark suite is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_SUPPORT_MATHUTIL_H
+#define DAECC_SUPPORT_MATHUTIL_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dae {
+
+/// Geometric mean of strictly positive values.
+inline double geometricMean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geometric mean of empty set");
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Deterministic xorshift64* generator; never seeded from the clock.
+class SplitMixRng {
+public:
+  explicit SplitMixRng(std::uint64_t Seed) : State(Seed ? Seed : 0x9e3779b9ULL) {}
+
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound).
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace dae
+
+#endif // DAECC_SUPPORT_MATHUTIL_H

@@ -1,0 +1,148 @@
+//===- workloads/Cg.cpp - Sparse matrix-vector kernel (NAS CG) --------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CSR sparse matrix-vector product at the heart of NAS CG: per row,
+/// data-dependent trip counts (RowPtr) and a gathered read x[Cols[j]] make
+/// both loops non-affine (Table 1: 0/2), while the streaming Vals/Cols reads
+/// and the scattered x gather put CG between the compute- and memory-bound
+/// extremes. The Manual DAE access phase prefetches the row pointers and the
+/// Vals/Cols streams at line granularity but skips the x gather — the expert
+/// trades coverage for a leaner phase; Auto DAE chases the gather too.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/MathUtil.h"
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::workloads;
+
+namespace {
+constexpr std::int64_t Elem = 8;
+}
+
+std::unique_ptr<Workload> workloads::buildCg(Scale S) {
+  const std::int64_t Rows = S == Scale::Test ? 2048 : 65536;
+  const std::int64_t NnzPerRow = 16;
+  const std::int64_t Nnz = Rows * NnzPerRow;
+  const std::int64_t RowsPerTask = S == Scale::Test ? 256 : 64;
+  const std::int64_t Iterations = 2; ///< Matvec sweeps (CG steps).
+
+  auto W = std::make_unique<Workload>();
+  W->Name = "CG";
+  W->M = std::make_unique<Module>("cg");
+  Module &M = *W->M;
+  auto *RowPtr = M.createGlobal(
+      "RowPtr", static_cast<std::uint64_t>(Rows + 1) * Elem);
+  auto *Cols = M.createGlobal("Cols", static_cast<std::uint64_t>(Nnz) * Elem);
+  auto *Vals = M.createGlobal("Vals", static_cast<std::uint64_t>(Nnz) * Elem);
+  auto *X = M.createGlobal("X", static_cast<std::uint64_t>(Rows) * Elem);
+  auto *Y = M.createGlobal("Y", static_cast<std::uint64_t>(Rows) * Elem);
+
+  // --- Task: y[r] = sum_j Vals[j] * x[Cols[j]] over rows [Begin, End) ------
+  Function *SpMV =
+      M.createFunction("cg_spmv", Type::Void, {Type::Int64, Type::Int64});
+  SpMV->setTask(true);
+  {
+    IRBuilder B(M, SpMV->createBlock("entry"));
+    Value *Begin = SpMV->getArg(0), *End = SpMV->getArg(1);
+    emitCountedLoop(B, Begin, End, B.getInt(1), "r",
+                    [&](IRBuilder &B, Value *R) {
+      Value *Lo = B.createLoad(Type::Int64, B.createGep1D(RowPtr, R, Elem));
+      Value *Hi = B.createLoad(
+          Type::Int64,
+          B.createGep1D(RowPtr, B.createAdd(R, B.getInt(1)), Elem));
+      Value *YPtr = B.createGep1D(Y, R, Elem);
+      B.createStore(B.getFloat(0.0), YPtr);
+      emitCountedLoop(B, Lo, Hi, B.getInt(1), "j",
+                      [&](IRBuilder &B, Value *J) {
+        Value *Col =
+            B.createLoad(Type::Int64, B.createGep1D(Cols, J, Elem));
+        Value *V =
+            B.createLoad(Type::Float64, B.createGep1D(Vals, J, Elem));
+        Value *Xv =
+            B.createLoad(Type::Float64, B.createGep1D(X, Col, Elem));
+        Value *Acc = B.createLoad(Type::Float64, YPtr);
+        B.createStore(B.createFAdd(Acc, B.createFMul(V, Xv)), YPtr);
+      });
+    });
+    B.createRet();
+  }
+
+  // Manual access for SpMV: row pointers, then Vals/Cols streams at line
+  // stride over [RowPtr[Begin], RowPtr[End]); the x gather is skipped.
+  Function *SpMVAccess = M.createFunction("cg_spmv.manual", Type::Void,
+                                          {Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, SpMVAccess->createBlock("entry"));
+    Value *Begin = SpMVAccess->getArg(0), *End = SpMVAccess->getArg(1);
+    emitCountedLoop(B, Begin, End, B.getInt(8), "r",
+                    [&](IRBuilder &B, Value *R) {
+      B.createPrefetch(B.createGep1D(RowPtr, R, Elem));
+    });
+    Value *Lo =
+        B.createLoad(Type::Int64, B.createGep1D(RowPtr, Begin, Elem));
+    Value *Hi = B.createLoad(Type::Int64, B.createGep1D(RowPtr, End, Elem));
+    emitCountedLoop(B, Lo, Hi, B.getInt(8), "j",
+                    [&](IRBuilder &B, Value *J) {
+      B.createPrefetch(B.createGep1D(Vals, J, Elem));
+      B.createPrefetch(B.createGep1D(Cols, J, Elem));
+    });
+    B.createRet();
+  }
+
+  W->ManualAccess = {{SpMV, SpMVAccess}};
+
+  // --- Task list: per iteration one spmv wave + one scale wave -------------
+  auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };
+  unsigned Wave = 0;
+  for (std::int64_t It = 0; It != Iterations; ++It) {
+    for (std::int64_t R = 0; R != Rows; R += RowsPerTask)
+      W->Tasks.push_back(
+          {SpMV, nullptr, {I64(R), I64(R + RowsPerTask)}, Wave});
+    ++Wave;
+  }
+
+  // --- Data: banded random sparsity, random x ------------------------------
+  W->Init = [Rows, NnzPerRow](sim::Memory &Mem, const sim::Loader &L) {
+    std::uint64_t RpB = L.baseOf("RowPtr"), ColB = L.baseOf("Cols");
+    std::uint64_t ValB = L.baseOf("Vals"), XB = L.baseOf("X");
+    std::uint64_t YB = L.baseOf("Y");
+    SplitMixRng Rng(0xC6);
+    std::int64_t Ptr = 0;
+    for (std::int64_t R = 0; R != Rows; ++R) {
+      Mem.storeI64(RpB + static_cast<std::uint64_t>(R * Elem), Ptr);
+      for (std::int64_t K = 0; K != NnzPerRow; ++K) {
+        // Scatter within a wide band around the diagonal (wraps at edges).
+        std::int64_t Span = Rows / 4;
+        std::int64_t Col =
+            (R + static_cast<std::int64_t>(Rng.nextBelow(
+                     static_cast<std::uint64_t>(2 * Span))) -
+             Span + Rows) %
+            Rows;
+        Mem.storeI64(ColB + static_cast<std::uint64_t>(Ptr * Elem), Col);
+        Mem.storeF64(ValB + static_cast<std::uint64_t>(Ptr * Elem),
+                     Rng.nextDouble() - 0.5);
+        ++Ptr;
+      }
+    }
+    Mem.storeI64(RpB + static_cast<std::uint64_t>(Rows * Elem), Ptr);
+    for (std::int64_t R = 0; R != Rows; ++R) {
+      Mem.storeF64(XB + static_cast<std::uint64_t>(R * Elem),
+                   Rng.nextDouble());
+      Mem.storeF64(YB + static_cast<std::uint64_t>(R * Elem), 0.0);
+    }
+  };
+  W->OutputGlobals = {"Y", "X"};
+  W->OutputSizes = {static_cast<std::uint64_t>(Rows) * Elem,
+                    static_cast<std::uint64_t>(Rows) * Elem};
+  W->Opts.RepresentativeArgs = {0, 64};
+  return W;
+}

@@ -1,0 +1,250 @@
+//===- workloads/Cholesky.cpp - Blocked LDL^T factorization -----------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocked Cholesky in its square-root-free LDL^T form (the Task IR has no
+/// sqrt, and LDL^T keeps every kernel purely arithmetic), right-looking and
+/// in-place on the lower triangle of a symmetric positive-definite matrix.
+/// Like LU it is fully affine (Table 1: 3/3 loops) and compute-bound. The
+/// Manual DAE access phases are the expert's selective versions: triangular
+/// prefetch for the diagonal kernel, sources-only for the trailing update.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/MathUtil.h"
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::workloads;
+
+namespace {
+
+constexpr std::int64_t Elem = 8;
+
+Value *gepA(IRBuilder &B, GlobalVariable *A, std::int64_t N, Value *R,
+            Value *C) {
+  return B.createGep2D(A, R, C, N, Elem);
+}
+
+} // namespace
+
+std::unique_ptr<Workload> workloads::buildCholesky(Scale S) {
+  const std::int64_t N = S == Scale::Test ? 32 : 256;
+  const std::int64_t BS = S == Scale::Test ? 8 : 16;
+
+  auto W = std::make_unique<Workload>();
+  W->Name = "Cholesky";
+  W->M = std::make_unique<Module>("cholesky");
+  Module &M = *W->M;
+  auto *A = M.createGlobal("A", static_cast<std::uint64_t>(N) * N * Elem);
+
+  // --- Diagonal block: in-place LDL^T (right-looking) --------------------
+  // for j: d = A[jj]; for i > j: A[ij] /= d; for i > j: for k in j+1..=i:
+  //   A[ik] -= A[ij] * A[kj] * d.
+  Function *Diag = M.createFunction("chol_diag", Type::Void, {Type::Int64});
+  Diag->setTask(true);
+  {
+    IRBuilder B(M, Diag->createBlock("entry"));
+    Value *K0 = Diag->getArg(0);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "j",
+                    [&](IRBuilder &B, Value *J) {
+      Value *JP1 = B.createAdd(J, B.getInt(1));
+      Value *Kj = B.createAdd(K0, J);
+      Value *D = B.createLoad(Type::Float64, gepA(B, A, N, Kj, Kj));
+      emitCountedLoop(B, JP1, B.getInt(BS), B.getInt(1), "i",
+                      [&](IRBuilder &B, Value *I) {
+        Value *Ki = B.createAdd(K0, I);
+        Value *Pij = gepA(B, A, N, Ki, Kj);
+        Value *Lij = B.createFDiv(B.createLoad(Type::Float64, Pij), D);
+        B.createStore(Lij, Pij);
+      });
+      emitCountedLoop(B, JP1, B.getInt(BS), B.getInt(1), "i2",
+                      [&](IRBuilder &B, Value *I) {
+        Value *Ki = B.createAdd(K0, I);
+        Value *Lij = B.createLoad(Type::Float64, gepA(B, A, N, Ki, Kj));
+        Value *IP1 = B.createAdd(I, B.getInt(1));
+        emitCountedLoop(B, JP1, IP1, B.getInt(1), "k",
+                        [&](IRBuilder &B, Value *K) {
+          Value *Kk = B.createAdd(K0, K);
+          Value *Lkj = B.createLoad(Type::Float64, gepA(B, A, N, Kk, Kj));
+          Value *Pik = gepA(B, A, N, Ki, Kk);
+          Value *Upd = B.createFSub(
+              B.createLoad(Type::Float64, Pik),
+              B.createFMul(B.createFMul(Lij, Lkj), D));
+          B.createStore(Upd, Pik);
+        });
+      });
+    });
+    B.createRet();
+  }
+
+  Function *DiagAccess =
+      M.createFunction("chol_diag.manual", Type::Void, {Type::Int64});
+  {
+    IRBuilder B(M, DiagAccess->createBlock("entry"));
+    Value *K0 = DiagAccess->getArg(0);
+    // Expert: lower triangle only.
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "i",
+                    [&](IRBuilder &B, Value *I) {
+      Value *IP1 = B.createAdd(I, B.getInt(1));
+      emitCountedLoop(B, B.getInt(0), IP1, B.getInt(1), "j",
+                      [&](IRBuilder &B, Value *J) {
+        B.createPrefetch(gepA(B, A, N, B.createAdd(K0, I),
+                              B.createAdd(K0, J)));
+      });
+    });
+    B.createRet();
+  }
+
+  // --- Panel: L_I0,K0 = A_I0,K0 * (L_kk D_kk)^-T (right-looking) ---------
+  // for j: d = A[K0+j][K0+j]; for r: A[I0+r][K0+j] /= d;
+  //   for k > j: A[I0+r][K0+k] -= L_rj * A[K0+k][K0+j] * d.
+  Function *Panel =
+      M.createFunction("chol_panel", Type::Void, {Type::Int64, Type::Int64});
+  Panel->setTask(true);
+  {
+    IRBuilder B(M, Panel->createBlock("entry"));
+    Value *I0 = Panel->getArg(0), *K0 = Panel->getArg(1);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "j",
+                    [&](IRBuilder &B, Value *J) {
+      Value *JP1 = B.createAdd(J, B.getInt(1));
+      Value *Kj = B.createAdd(K0, J);
+      Value *D = B.createLoad(Type::Float64, gepA(B, A, N, Kj, Kj));
+      emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "r",
+                      [&](IRBuilder &B, Value *R) {
+        Value *Ir = B.createAdd(I0, R);
+        Value *Prj = gepA(B, A, N, Ir, Kj);
+        Value *Lrj = B.createFDiv(B.createLoad(Type::Float64, Prj), D);
+        B.createStore(Lrj, Prj);
+        emitCountedLoop(B, JP1, B.getInt(BS), B.getInt(1), "k",
+                        [&](IRBuilder &B, Value *K) {
+          Value *Kk = B.createAdd(K0, K);
+          Value *Lkj = B.createLoad(Type::Float64, gepA(B, A, N, Kk, Kj));
+          Value *Prk = gepA(B, A, N, Ir, Kk);
+          Value *Upd = B.createFSub(
+              B.createLoad(Type::Float64, Prk),
+              B.createFMul(B.createFMul(Lrj, Lkj), D));
+          B.createStore(Upd, Prk);
+        });
+      });
+    });
+    B.createRet();
+  }
+
+  Function *PanelAccess = M.createFunction("chol_panel.manual", Type::Void,
+                                           {Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, PanelAccess->createBlock("entry"));
+    Value *I0 = PanelAccess->getArg(0), *K0 = PanelAccess->getArg(1);
+    // Expert: target panel only, skipping the (hot) diagonal block.
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "r",
+                    [&](IRBuilder &B, Value *R) {
+      emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "c",
+                      [&](IRBuilder &B, Value *C) {
+        B.createPrefetch(gepA(B, A, N, B.createAdd(I0, R),
+                              B.createAdd(K0, C)));
+      });
+    });
+    B.createRet();
+  }
+
+  // --- Trailing update: A_I0,J0 -= L_I0,K0 * D * L_J0,K0^T ---------------
+  // for m: d = A[K0+m][K0+m]; for r: t = A[I0+r][K0+m] * d;
+  //   for c: A[I0+r][J0+c] -= t * A[J0+c][K0+m].
+  Function *Upd = M.createFunction(
+      "chol_update", Type::Void, {Type::Int64, Type::Int64, Type::Int64});
+  Upd->setTask(true);
+  {
+    IRBuilder B(M, Upd->createBlock("entry"));
+    Value *I0 = Upd->getArg(0), *J0 = Upd->getArg(1), *K0 = Upd->getArg(2);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "m",
+                    [&](IRBuilder &B, Value *Mi) {
+      Value *Km = B.createAdd(K0, Mi);
+      Value *D = B.createLoad(Type::Float64, gepA(B, A, N, Km, Km));
+      emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "r",
+                      [&](IRBuilder &B, Value *R) {
+        Value *Ir = B.createAdd(I0, R);
+        Value *Lrm = B.createLoad(Type::Float64, gepA(B, A, N, Ir, Km));
+        Value *T = B.createFMul(Lrm, D);
+        emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "c",
+                        [&](IRBuilder &B, Value *C) {
+          Value *Jc = B.createAdd(J0, C);
+          Value *Lcm = B.createLoad(Type::Float64, gepA(B, A, N, Jc, Km));
+          Value *Dst = gepA(B, A, N, Ir, Jc);
+          Value *V = B.createFSub(B.createLoad(Type::Float64, Dst),
+                                  B.createFMul(T, Lcm));
+          B.createStore(V, Dst);
+        });
+      });
+    });
+    B.createRet();
+  }
+
+  Function *UpdAccess = M.createFunction(
+      "chol_update.manual", Type::Void,
+      {Type::Int64, Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, UpdAccess->createBlock("entry"));
+    Value *I0 = UpdAccess->getArg(0), *J0 = UpdAccess->getArg(1),
+          *K0 = UpdAccess->getArg(2);
+    // Expert: the two source panels only, skipping the destination block.
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "r",
+                    [&](IRBuilder &B, Value *R) {
+      emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "c",
+                      [&](IRBuilder &B, Value *C) {
+        B.createPrefetch(gepA(B, A, N, B.createAdd(I0, R),
+                              B.createAdd(K0, C)));
+        B.createPrefetch(gepA(B, A, N, B.createAdd(J0, R),
+                              B.createAdd(K0, C)));
+      });
+    });
+    B.createRet();
+  }
+
+  W->ManualAccess = {
+      {Diag, DiagAccess}, {Panel, PanelAccess}, {Upd, UpdAccess}};
+
+  // --- Task list (lower-triangular block sweep) ---------------------------
+  const std::int64_t NB = N / BS;
+  unsigned Wave = 0;
+  auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };
+  for (std::int64_t K = 0; K != NB; ++K) {
+    W->Tasks.push_back({Diag, nullptr, {I64(K * BS)}, Wave++});
+    if (K + 1 < NB) {
+      for (std::int64_t I = K + 1; I != NB; ++I)
+        W->Tasks.push_back(
+            {Panel, nullptr, {I64(I * BS), I64(K * BS)}, Wave});
+      ++Wave;
+      for (std::int64_t I = K + 1; I != NB; ++I)
+        for (std::int64_t J = K + 1; J <= I; ++J)
+          W->Tasks.push_back(
+              {Upd, nullptr, {I64(I * BS), I64(J * BS), I64(K * BS)}, Wave});
+      ++Wave;
+    }
+  }
+
+  // --- Data: symmetric diagonally dominant (hence positive definite) ------
+  W->Init = [N](sim::Memory &Mem, const sim::Loader &L) {
+    std::uint64_t Base = L.baseOf("A");
+    SplitMixRng Rng(0xC0DE5);
+    for (std::int64_t R = 0; R != N; ++R)
+      for (std::int64_t C = 0; C <= R; ++C) {
+        double V = R == C ? Rng.nextDouble() + static_cast<double>(2 * N)
+                          : Rng.nextDouble();
+        Mem.storeF64(Base + static_cast<std::uint64_t>((R * N + C) * Elem),
+                     V);
+        Mem.storeF64(Base + static_cast<std::uint64_t>((C * N + R) * Elem),
+                     V);
+      }
+  };
+  W->OutputGlobals = {"A"};
+  W->OutputSizes = {static_cast<std::uint64_t>(N) * N * Elem};
+  W->Opts.RepresentativeArgs = {BS, 2 * BS, 3 * BS};
+  return W;
+}

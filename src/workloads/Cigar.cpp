@@ -1,0 +1,144 @@
+//===- workloads/Cigar.cpp - Case-injected GA fitness sweep -----------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fitness-evaluation core of a case-injected genetic algorithm (CIGAR):
+/// a shuffled permutation selects individuals out of a population far larger
+/// than the LLC, and each individual's chromosome is compared gene-by-gene
+/// against a case from the injected case library. The permutation
+/// indirection makes every chromosome access data-dependent (non-affine,
+/// Table 1: 0/1) and the random traversal order makes the task heavily
+/// memory-bound — CIGAR and LibQ anchor the memory-bound end of Figure 3.
+/// The Manual DAE access phase chases the same indirection but prefetches
+/// chromosomes at cache-line granularity and skips the (LLC-resident) case
+/// library.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/MathUtil.h"
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::workloads;
+
+namespace {
+constexpr std::int64_t Elem = 8;
+}
+
+std::unique_ptr<Workload> workloads::buildCigar(Scale S) {
+  const std::int64_t Pop = S == Scale::Test ? 1024 : 32768; ///< Individuals.
+  const std::int64_t Genes = 64;
+  const std::int64_t Evals = S == Scale::Test ? 512 : 8192; ///< Per pass.
+  const std::int64_t Cases = 64;
+  const std::int64_t ChunkSize = S == Scale::Test ? 128 : 64;
+  const std::int64_t Passes = 2;
+
+  auto W = std::make_unique<Workload>();
+  W->Name = "Cigar";
+  W->M = std::make_unique<Module>("cigar");
+  Module &M = *W->M;
+  auto *PopG = M.createGlobal(
+      "Pop", static_cast<std::uint64_t>(Pop) * Genes * Elem);
+  auto *Perm = M.createGlobal("Perm",
+                              static_cast<std::uint64_t>(Pop) * Elem);
+  auto *CaseG = M.createGlobal(
+      "Cases", static_cast<std::uint64_t>(Cases) * Genes * Elem);
+  auto *Fit = M.createGlobal("Fit", static_cast<std::uint64_t>(Pop) * Elem);
+
+  // --- Task: evaluate fitness of individuals [Begin, End) ------------------
+  // for p: idx = Perm[p]; for g: Fit[idx] += (Pop[idx][g] - Cases[p%C][g])^2
+  Function *Eval = M.createFunction("cigar_eval", Type::Void,
+                                    {Type::Int64, Type::Int64});
+  Eval->setTask(true);
+  {
+    IRBuilder B(M, Eval->createBlock("entry"));
+    Value *Begin = Eval->getArg(0), *End = Eval->getArg(1);
+    emitCountedLoop(B, Begin, End, B.getInt(1), "p",
+                    [&](IRBuilder &B, Value *P) {
+      Value *Idx =
+          B.createLoad(Type::Int64, B.createGep1D(Perm, P, Elem));
+      Value *CaseIdx = B.createSRem(P, B.getInt(Cases));
+      Value *FitPtr = B.createGep1D(Fit, Idx, Elem);
+      emitCountedLoop(B, B.getInt(0), B.getInt(Genes), B.getInt(1), "g",
+                      [&](IRBuilder &B, Value *G) {
+        Value *Gene = B.createLoad(
+            Type::Float64, B.createGep2D(PopG, Idx, G, Genes, Elem));
+        Value *Ref = B.createLoad(
+            Type::Float64, B.createGep2D(CaseG, CaseIdx, G, Genes, Elem));
+        Value *Diff = B.createFSub(Gene, Ref);
+        Value *Acc = B.createLoad(Type::Float64, FitPtr);
+        B.createStore(B.createFAdd(Acc, B.createFMul(Diff, Diff)), FitPtr);
+      });
+    });
+    B.createRet();
+  }
+
+  // Manual access: follow Perm, prefetch each selected chromosome at line
+  // granularity; skip the case library.
+  Function *EvalAccess = M.createFunction("cigar_eval.manual", Type::Void,
+                                          {Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, EvalAccess->createBlock("entry"));
+    Value *Begin = EvalAccess->getArg(0), *End = EvalAccess->getArg(1);
+    emitCountedLoop(B, Begin, End, B.getInt(1), "p",
+                    [&](IRBuilder &B, Value *P) {
+      Value *PermPtr = B.createGep1D(Perm, P, Elem);
+      B.createPrefetch(PermPtr);
+      Value *Idx = B.createLoad(Type::Int64, PermPtr);
+      // Selective: every other line of the chromosome — the expert banks on
+      // the hardware stream prefetcher for the rest, so the execute phase
+      // still pays for the skipped lines (section 6.2.1's trade-off).
+      emitCountedLoop(B, B.getInt(0), B.getInt(Genes), B.getInt(16), "g",
+                      [&](IRBuilder &B, Value *G) {
+        B.createPrefetch(B.createGep2D(PopG, Idx, G, Genes, Elem));
+      });
+    });
+    B.createRet();
+  }
+
+  W->ManualAccess = {{Eval, EvalAccess}};
+
+  // --- Task list: two evaluation passes over shuffled slices ---------------
+  auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };
+  unsigned Wave = 0;
+  for (std::int64_t Pass = 0; Pass != Passes; ++Pass) {
+    for (std::int64_t Bg = Pass * Evals; Bg < (Pass + 1) * Evals;
+         Bg += ChunkSize)
+      W->Tasks.push_back({Eval, nullptr, {I64(Bg), I64(Bg + ChunkSize)},
+                          Wave});
+    ++Wave;
+  }
+
+  // --- Data: random genes/cases, shuffled permutation ----------------------
+  W->Init = [Pop, Genes, Cases](sim::Memory &Mem, const sim::Loader &L) {
+    std::uint64_t PopB = L.baseOf("Pop"), PermB = L.baseOf("Perm");
+    std::uint64_t CaseB = L.baseOf("Cases"), FitB = L.baseOf("Fit");
+    SplitMixRng Rng(0xC16A2);
+    for (std::int64_t I = 0; I != Pop * Genes; ++I)
+      Mem.storeF64(PopB + static_cast<std::uint64_t>(I * Elem),
+                   Rng.nextDouble());
+    for (std::int64_t I = 0; I != Cases * Genes; ++I)
+      Mem.storeF64(CaseB + static_cast<std::uint64_t>(I * Elem),
+                   Rng.nextDouble());
+    for (std::int64_t I = 0; I != Pop; ++I)
+      Mem.storeF64(FitB + static_cast<std::uint64_t>(I * Elem), 0.0);
+    // Fisher-Yates shuffle of [0, Pop).
+    std::vector<std::int64_t> P(Pop);
+    for (std::int64_t I = 0; I != Pop; ++I)
+      P[I] = I;
+    for (std::int64_t I = Pop - 1; I > 0; --I)
+      std::swap(P[I], P[Rng.nextBelow(static_cast<std::uint64_t>(I + 1))]);
+    for (std::int64_t I = 0; I != Pop; ++I)
+      Mem.storeI64(PermB + static_cast<std::uint64_t>(I * Elem), P[I]);
+  };
+  W->OutputGlobals = {"Fit"};
+  W->OutputSizes = {static_cast<std::uint64_t>(Pop) * Elem};
+  W->Opts.RepresentativeArgs = {0, 128};
+  return W;
+}

@@ -1,0 +1,235 @@
+//===- workloads/Fft.cpp - Iterative radix-2 FFT (SPLASH2-style) ------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-place iterative radix-2 DIT FFT over split real/imaginary arrays.
+/// Butterfly index arithmetic is bit manipulation (shifts/masks), so the
+/// task is non-affine — FFT is the 0/6 row of Table 1. The butterfly body
+/// lives in a helper function the task calls: the paper's section 6.2.2
+/// highlights exactly this ("compile time optimizations inline these
+/// functions"), and the inliner must absorb it before skeletonization. The
+/// Manual DAE access phase is the expert's "greatly simplified" version: it
+/// prefetches the contiguous region the chunk touches and skips the twiddle
+/// table, trading prefetch coverage for speed (section 6.2.2's trade-off).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/MathUtil.h"
+
+#include <cmath>
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::workloads;
+
+namespace {
+constexpr std::int64_t Elem = 8;
+}
+
+std::unique_ptr<Workload> workloads::buildFft(Scale S) {
+  const std::int64_t LogN = S == Scale::Test ? 8 : 16;
+  const std::int64_t N = std::int64_t(1) << LogN;
+  const std::int64_t ChunksPerStage = S == Scale::Test ? 4 : 32;
+
+  auto W = std::make_unique<Workload>();
+  W->Name = "FFT";
+  W->M = std::make_unique<Module>("fft");
+  Module &M = *W->M;
+  auto *Re = M.createGlobal("Re", static_cast<std::uint64_t>(N) * Elem);
+  auto *Im = M.createGlobal("Im", static_cast<std::uint64_t>(N) * Elem);
+  auto *TwRe = M.createGlobal("TwRe", static_cast<std::uint64_t>(N / 2) * Elem);
+  auto *TwIm = M.createGlobal("TwIm", static_cast<std::uint64_t>(N / 2) * Elem);
+  auto *Rev = M.createGlobal("Rev", static_cast<std::uint64_t>(N) * Elem);
+
+  // --- Helper: one butterfly (i, j, twiddle index) — inlined by the
+  // compiler before access generation.
+  Function *Butterfly = M.createFunction(
+      "fft_butterfly", Type::Void, {Type::Int64, Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, Butterfly->createBlock("entry"));
+    Value *I = Butterfly->getArg(0);
+    Value *J = Butterfly->getArg(1);
+    Value *T = Butterfly->getArg(2);
+    Value *PRi = B.createGep1D(Re, I, Elem);
+    Value *PIi = B.createGep1D(Im, I, Elem);
+    Value *PRj = B.createGep1D(Re, J, Elem);
+    Value *PIj = B.createGep1D(Im, J, Elem);
+    Value *Wr = B.createLoad(Type::Float64, B.createGep1D(TwRe, T, Elem));
+    Value *Wi = B.createLoad(Type::Float64, B.createGep1D(TwIm, T, Elem));
+    Value *Ar = B.createLoad(Type::Float64, PRi);
+    Value *Ai = B.createLoad(Type::Float64, PIi);
+    Value *Br = B.createLoad(Type::Float64, PRj);
+    Value *Bi = B.createLoad(Type::Float64, PIj);
+    // t = w * b.
+    Value *Tr = B.createFSub(B.createFMul(Wr, Br), B.createFMul(Wi, Bi));
+    Value *Ti = B.createFAdd(B.createFMul(Wr, Bi), B.createFMul(Wi, Br));
+    B.createStore(B.createFSub(Ar, Tr), PRj);
+    B.createStore(B.createFSub(Ai, Ti), PIj);
+    B.createStore(B.createFAdd(Ar, Tr), PRi);
+    B.createStore(B.createFAdd(Ai, Ti), PIi);
+    B.createRet();
+  }
+
+  // --- Task: one chunk of butterflies of one stage ------------------------
+  // args: (Stage, Begin, End) over the flattened butterfly index b:
+  //   span   = 1 << stage
+  //   block  = (b >> stage) << (stage + 1)
+  //   offset = b & (span - 1)
+  //   i = block + offset; j = i + span; tw = offset << (LogN - 1 - stage)
+  Function *Stage = M.createFunction(
+      "fft_stage", Type::Void, {Type::Int64, Type::Int64, Type::Int64});
+  Stage->setTask(true);
+  {
+    IRBuilder B(M, Stage->createBlock("entry"));
+    Value *St = Stage->getArg(0);
+    Value *Begin = Stage->getArg(1), *End = Stage->getArg(2);
+    Value *Span = B.createShl(B.getInt(1), St);
+    Value *Mask = B.createSub(Span, B.getInt(1));
+    Value *TwShift = B.createSub(B.getInt(LogN - 1), St);
+    emitCountedLoop(B, Begin, End, B.getInt(1), "b",
+                    [&](IRBuilder &B, Value *Bi) {
+      Value *Block = B.createShl(B.createAShr(Bi, St),
+                                 B.createAdd(St, B.getInt(1)));
+      Value *Offset = B.createAnd(Bi, Mask);
+      Value *I = B.createAdd(Block, Offset);
+      Value *J = B.createAdd(I, Span);
+      Value *Tw = B.createShl(Offset, TwShift);
+      B.createCall(Butterfly, {I, J, Tw});
+    });
+    B.createRet();
+  }
+
+  // Manual access (expert): the chunk's butterflies touch the contiguous
+  // region [blockOf(Begin), blockOf(End)) of Re/Im; prefetch it at
+  // cache-line stride and skip the twiddle table entirely.
+  Function *StageAccess = M.createFunction(
+      "fft_stage.manual", Type::Void, {Type::Int64, Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, StageAccess->createBlock("entry"));
+    Value *St = StageAccess->getArg(0);
+    Value *Begin = StageAccess->getArg(1), *End = StageAccess->getArg(2);
+    Value *StP1 = B.createAdd(St, B.getInt(1));
+    Value *Lo = B.createShl(B.createAShr(Begin, St), StP1);
+    Value *Hi = B.createShl(
+        B.createAShr(B.createAdd(End, B.createSub(B.createShl(B.getInt(1), St),
+                                                  B.getInt(1))),
+                     St),
+        StP1);
+    emitCountedLoop(B, Lo, Hi, B.getInt(8), "p",
+                    [&](IRBuilder &B, Value *P) {
+      B.createPrefetch(B.createGep1D(Re, P, Elem));
+      B.createPrefetch(B.createGep1D(Im, P, Elem));
+    });
+    B.createRet();
+  }
+
+  // --- Task: bit-reverse permutation over a chunk --------------------------
+  // for i in [Begin, End): j = Rev[i]; if (i < j) swap (Re, Im).
+  Function *Reverse = M.createFunction("fft_bitrev", Type::Void,
+                                       {Type::Int64, Type::Int64});
+  Reverse->setTask(true);
+  {
+    IRBuilder B(M, Reverse->createBlock("entry"));
+    Value *Begin = Reverse->getArg(0), *End = Reverse->getArg(1);
+    emitCountedLoop(B, Begin, End, B.getInt(1), "i",
+                    [&](IRBuilder &B, Value *I) {
+      Value *J = B.createLoad(Type::Int64, B.createGep1D(Rev, I, Elem));
+      Value *Cond = B.createCmp(CmpPred::SLT, I, J);
+      Function *F = B.getInsertBlock()->getParent();
+      BasicBlock *Swap = F->createBlock("swap");
+      BasicBlock *Join = F->createBlock("join");
+      B.createCondBr(Cond, Swap, Join);
+      B.setInsertBlock(Swap);
+      Value *PRi = B.createGep1D(Re, I, Elem);
+      Value *PRj = B.createGep1D(Re, J, Elem);
+      Value *PIi = B.createGep1D(Im, I, Elem);
+      Value *PIj = B.createGep1D(Im, J, Elem);
+      Value *Ar = B.createLoad(Type::Float64, PRi);
+      Value *Br = B.createLoad(Type::Float64, PRj);
+      B.createStore(Br, PRi);
+      B.createStore(Ar, PRj);
+      Value *Ai = B.createLoad(Type::Float64, PIi);
+      Value *Bi = B.createLoad(Type::Float64, PIj);
+      B.createStore(Bi, PIi);
+      B.createStore(Ai, PIj);
+      B.createBr(Join);
+      B.setInsertBlock(Join);
+    });
+    B.createRet();
+  }
+
+  // Manual access for bit-reverse: prefetch the Rev slice plus the
+  // contiguous halves of Re/Im the chunk reads.
+  Function *ReverseAccess = M.createFunction(
+      "fft_bitrev.manual", Type::Void, {Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, ReverseAccess->createBlock("entry"));
+    Value *Begin = ReverseAccess->getArg(0), *End = ReverseAccess->getArg(1);
+    emitCountedLoop(B, Begin, End, B.getInt(8), "p",
+                    [&](IRBuilder &B, Value *P) {
+      B.createPrefetch(B.createGep1D(Rev, P, Elem));
+      B.createPrefetch(B.createGep1D(Re, P, Elem));
+      B.createPrefetch(B.createGep1D(Im, P, Elem));
+    });
+    B.createRet();
+  }
+
+  W->ManualAccess = {{Stage, StageAccess}, {Reverse, ReverseAccess}};
+
+  // --- Task list: bit-reverse wave, then one wave per stage ----------------
+  auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };
+  unsigned Wave = 0;
+  const std::int64_t RevChunk = N / ChunksPerStage;
+  for (std::int64_t C = 0; C != ChunksPerStage; ++C)
+    W->Tasks.push_back(
+        {Reverse, nullptr, {I64(C * RevChunk), I64((C + 1) * RevChunk)}, Wave});
+  ++Wave;
+  const std::int64_t Butterflies = N / 2;
+  const std::int64_t Chunk = Butterflies / ChunksPerStage;
+  for (std::int64_t St = 0; St != LogN; ++St) {
+    for (std::int64_t C = 0; C != ChunksPerStage; ++C)
+      W->Tasks.push_back({Stage,
+                          nullptr,
+                          {I64(St), I64(C * Chunk), I64((C + 1) * Chunk)},
+                          Wave});
+    ++Wave;
+  }
+
+  // --- Data: random signal, twiddles, bit-reverse table --------------------
+  W->Init = [N, LogN](sim::Memory &Mem, const sim::Loader &L) {
+    std::uint64_t ReB = L.baseOf("Re"), ImB = L.baseOf("Im");
+    std::uint64_t TwReB = L.baseOf("TwRe"), TwImB = L.baseOf("TwIm");
+    std::uint64_t RevB = L.baseOf("Rev");
+    SplitMixRng Rng(0xFF7);
+    for (std::int64_t I = 0; I != N; ++I) {
+      Mem.storeF64(ReB + static_cast<std::uint64_t>(I * Elem),
+                   Rng.nextDouble() - 0.5);
+      Mem.storeF64(ImB + static_cast<std::uint64_t>(I * Elem), 0.0);
+      // Bit-reverse of I over LogN bits.
+      std::int64_t R = 0;
+      for (std::int64_t Bit = 0; Bit != LogN; ++Bit)
+        R |= ((I >> Bit) & 1) << (LogN - 1 - Bit);
+      Mem.storeI64(RevB + static_cast<std::uint64_t>(I * Elem), R);
+    }
+    const double Pi = 3.14159265358979323846;
+    for (std::int64_t I = 0; I != N / 2; ++I) {
+      double Ang = -2.0 * Pi * static_cast<double>(I) /
+                   static_cast<double>(N);
+      Mem.storeF64(TwReB + static_cast<std::uint64_t>(I * Elem),
+                   std::cos(Ang));
+      Mem.storeF64(TwImB + static_cast<std::uint64_t>(I * Elem),
+                   std::sin(Ang));
+    }
+  };
+  W->OutputGlobals = {"Re", "Im"};
+  W->OutputSizes = {static_cast<std::uint64_t>(N) * Elem,
+                    static_cast<std::uint64_t>(N) * Elem};
+  W->Opts.RepresentativeArgs = {2, 0, 64};
+  return W;
+}

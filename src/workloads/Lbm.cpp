@@ -1,0 +1,198 @@
+//===- workloads/Lbm.cpp - Lattice-Boltzmann (D2Q5, SPEC-470-style) ---------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A D2Q5 lattice-Boltzmann sweep with ping-pong grids and obstacle
+/// bounce-back: each cell gathers five neighbor distributions from the
+/// source grid, applies a BGK-style collision, and scatters five values to
+/// the destination grid; obstacle cells (a data-dependent branch) reflect
+/// instead. The task is non-affine (Table 1: 0/1) and — crucially for the
+/// paper's Figure 3 anomaly — *write-coupled*: five stores per cell stay in
+/// the execute phase, which therefore remains memory-bound even after
+/// prefetching, so coupled execution at a reduced frequency achieves a
+/// better EDP than DAE (section 6.1's LBM discussion).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/MathUtil.h"
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::workloads;
+
+namespace {
+constexpr std::int64_t Elem = 8;
+constexpr std::int64_t Dirs = 5; ///< C, N, S, E, W.
+} // namespace
+
+std::unique_ptr<Workload> workloads::buildLbm(Scale S) {
+  const std::int64_t H = S == Scale::Test ? 32 : 128;
+  const std::int64_t Wd = S == Scale::Test ? 64 : 256;
+  const std::int64_t BandRows = S == Scale::Test ? 8 : 4;
+  const std::int64_t Sweeps = 2;
+
+  auto W = std::make_unique<Workload>();
+  W->Name = "LBM";
+  W->M = std::make_unique<Module>("lbm");
+  Module &M = *W->M;
+  const std::uint64_t GridBytes =
+      static_cast<std::uint64_t>(Dirs) * H * Wd * Elem;
+  auto *F0 = M.createGlobal("F0", GridBytes); // Ping.
+  auto *F1 = M.createGlobal("F1", GridBytes); // Pong.
+  auto *Obst = M.createGlobal("Obst", static_cast<std::uint64_t>(H) * Wd * Elem);
+
+  // --- Task: stream+collide a band of rows [R0, R1) ------------------------
+  // args: (R0, R1, SrcIsF0) — the grids swap roles between sweeps.
+  // Interior-only sweep (rows 1..H-2, cols 1..W-2 updated; borders static).
+  Function *Sweep = M.createFunction(
+      "lbm_sweep", Type::Void, {Type::Int64, Type::Int64, Type::Int64});
+  Sweep->setTask(true);
+  {
+    IRBuilder B(M, Sweep->createBlock("entry"));
+    Value *R0 = Sweep->getArg(0), *R1 = Sweep->getArg(1);
+    Value *SrcIsF0 = Sweep->getArg(2);
+
+    auto Gep3 = [&](GlobalVariable *G, std::int64_t Dir, Value *R,
+                    Value *C) {
+      return B.createGep(G, {B.getInt(Dir), R, C}, {0, H, Wd}, Elem);
+    };
+
+    emitCountedLoop(B, R0, R1, B.getInt(1), "r", [&](IRBuilder &B, Value *R) {
+      emitCountedLoop(B, B.getInt(1), B.getInt(Wd - 1), B.getInt(1), "c",
+                      [&](IRBuilder &B, Value *C) {
+        Function *Fn = B.getInsertBlock()->getParent();
+        Value *RN = B.createSub(R, B.getInt(1));
+        Value *RS = B.createAdd(R, B.getInt(1));
+        Value *CW = B.createSub(C, B.getInt(1));
+        Value *CE = B.createAdd(C, B.getInt(1));
+
+        // Gather the five incoming distributions (pull scheme). Source grid
+        // selected by a data-independent select on the task argument.
+        auto SrcGep = [&](std::int64_t Dir, Value *Rr, Value *Cc) {
+          Value *P0 = Gep3(F0, Dir, Rr, Cc);
+          Value *P1 = Gep3(F1, Dir, Rr, Cc);
+          return B.createSelect(SrcIsF0, P0, P1);
+        };
+        auto DstGep = [&](std::int64_t Dir, Value *Rr, Value *Cc) {
+          Value *P0 = Gep3(F0, Dir, Rr, Cc);
+          Value *P1 = Gep3(F1, Dir, Rr, Cc);
+          return B.createSelect(SrcIsF0, P1, P0);
+        };
+
+        Value *Fc = B.createLoad(Type::Float64, SrcGep(0, R, C));
+        Value *Fn_ = B.createLoad(Type::Float64, SrcGep(1, RS, C));
+        Value *Fs = B.createLoad(Type::Float64, SrcGep(2, RN, C));
+        Value *Fe = B.createLoad(Type::Float64, SrcGep(3, R, CW));
+        Value *Fw = B.createLoad(Type::Float64, SrcGep(4, R, CE));
+
+        // rho = sum; BGK relaxation toward rho/5 with omega = 0.6.
+        Value *Rho = B.createFAdd(
+            B.createFAdd(B.createFAdd(Fc, Fn_), B.createFAdd(Fs, Fe)), Fw);
+        Value *Eq = B.createFMul(Rho, B.getFloat(0.2));
+        auto Relax = [&](Value *Fi) {
+          return B.createFAdd(
+              Fi, B.createFMul(B.getFloat(0.6), B.createFSub(Eq, Fi)));
+        };
+        Value *Oc = Relax(Fc), *On = Relax(Fn_), *Os = Relax(Fs),
+              *Oe = Relax(Fe), *Ow = Relax(Fw);
+
+        // Obstacle cells bounce back (swap opposing directions) instead.
+        Value *ObFlag = B.createLoad(
+            Type::Int64, B.createGep2D(Obst, R, C, Wd, Elem));
+        Value *IsObst = B.createCmp(CmpPred::NE, ObFlag, B.getInt(0));
+        BasicBlock *Bounce = Fn->createBlock("bounce");
+        BasicBlock *Flow = Fn->createBlock("flow");
+        BasicBlock *Join = Fn->createBlock("join");
+        B.createCondBr(IsObst, Bounce, Flow);
+
+        B.setInsertBlock(Bounce);
+        B.createStore(Fc, DstGep(0, R, C));
+        B.createStore(Fs, DstGep(1, R, C)); // N <- S.
+        B.createStore(Fn_, DstGep(2, R, C));
+        B.createStore(Fw, DstGep(3, R, C)); // E <- W.
+        B.createStore(Fe, DstGep(4, R, C));
+        B.createBr(Join);
+
+        B.setInsertBlock(Flow);
+        B.createStore(Oc, DstGep(0, R, C));
+        B.createStore(On, DstGep(1, R, C));
+        B.createStore(Os, DstGep(2, R, C));
+        B.createStore(Oe, DstGep(3, R, C));
+        B.createStore(Ow, DstGep(4, R, C));
+        B.createBr(Join);
+
+        B.setInsertBlock(Join);
+      });
+    });
+    B.createRet();
+  }
+
+  // Manual access: prefetch the band's source rows (all five directions)
+  // and the obstacle flags; the expert skips the write-only destination.
+  Function *SweepAccess = M.createFunction(
+      "lbm_sweep.manual", Type::Void, {Type::Int64, Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, SweepAccess->createBlock("entry"));
+    Value *R0 = SweepAccess->getArg(0), *R1 = SweepAccess->getArg(1);
+    Value *SrcIsF0 = SweepAccess->getArg(2);
+    emitCountedLoop(B, B.createSub(R0, B.getInt(1)),
+                    B.createAdd(R1, B.getInt(1)), B.getInt(1), "r",
+                    [&](IRBuilder &B, Value *R) {
+      emitCountedLoop(B, B.getInt(0), B.getInt(Wd), B.getInt(8), "c",
+                      [&](IRBuilder &B, Value *C) {
+        for (std::int64_t D = 0; D != Dirs; ++D) {
+          Value *P0 = B.createGep(F0, {B.getInt(D), R, C}, {0, H, Wd}, Elem);
+          Value *P1 = B.createGep(F1, {B.getInt(D), R, C}, {0, H, Wd}, Elem);
+          B.createPrefetch(B.createSelect(SrcIsF0, P0, P1));
+        }
+        B.createPrefetch(B.createGep2D(Obst, R, C, Wd, Elem));
+      });
+    });
+    B.createRet();
+  }
+
+  W->ManualAccess = {{Sweep, SweepAccess}};
+
+  // --- Task list: bands per sweep, ping-pong between sweeps ----------------
+  auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };
+  unsigned Wave = 0;
+  for (std::int64_t Sw = 0; Sw != Sweeps; ++Sw) {
+    std::int64_t SrcIsF0 = Sw % 2 == 0 ? 1 : 0;
+    for (std::int64_t R = 1; R < H - 1; R += BandRows) {
+      std::int64_t REnd = std::min<std::int64_t>(R + BandRows, H - 1);
+      W->Tasks.push_back(
+          {Sweep, nullptr, {I64(R), I64(REnd), I64(SrcIsF0)}, Wave});
+    }
+    ++Wave;
+  }
+
+  // --- Data: uniform flow with ~10% random obstacles -----------------------
+  W->Init = [H, Wd](sim::Memory &Mem, const sim::Loader &L) {
+    std::uint64_t F0B = L.baseOf("F0"), F1B = L.baseOf("F1");
+    std::uint64_t ObB = L.baseOf("Obst");
+    SplitMixRng Rng(0x1B3);
+    for (std::int64_t D = 0; D != Dirs; ++D)
+      for (std::int64_t R = 0; R != H; ++R)
+        for (std::int64_t C = 0; C != Wd; ++C) {
+          std::uint64_t Off =
+              static_cast<std::uint64_t>(((D * H + R) * Wd + C) * Elem);
+          double V = 0.2 + 0.01 * Rng.nextDouble();
+          Mem.storeF64(F0B + Off, V);
+          Mem.storeF64(F1B + Off, V);
+        }
+    for (std::int64_t R = 0; R != H; ++R)
+      for (std::int64_t C = 0; C != Wd; ++C)
+        Mem.storeI64(ObB + static_cast<std::uint64_t>((R * Wd + C) * Elem),
+                     Rng.nextDouble() < 0.1 ? 1 : 0);
+  };
+  W->OutputGlobals = {"F0", "F1"};
+  W->OutputSizes = {GridBytes, GridBytes};
+  W->Opts.RepresentativeArgs = {1, 9, 1};
+  return W;
+}

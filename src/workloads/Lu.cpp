@@ -1,0 +1,311 @@
+//===- workloads/Lu.cpp - Blocked LU factorization (SPLASH2-style) ----------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocked right-looking LU without pivoting on a diagonally dominant dense
+/// matrix. Four task kinds per step k: diagonal-block factorization (the
+/// Listing 1(b) kernel), row and column panel updates, and trailing-matrix
+/// block updates (the Listing 3 shape: three parameterized blocks of the
+/// same array). All tasks are affine — LU is a 3/3 row of Table 1 — so Auto
+/// DAE uses the polyhedral generator throughout. The Manual DAE access
+/// phases are "selectively prefetching" expert versions: they skip the
+/// destination block of updates and the upper half of the diagonal kernel,
+/// running faster but leaving misses to the execute phase (section 6.2.1's
+/// described trade-off).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/MathUtil.h"
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::workloads;
+
+namespace {
+
+struct LuConfig {
+  std::int64_t N;     ///< Matrix dimension (static array extent).
+  std::int64_t Block; ///< Block size.
+};
+
+LuConfig configFor(Scale S) {
+  return S == Scale::Test ? LuConfig{32, 8} : LuConfig{256, 16};
+}
+
+constexpr std::int64_t Elem = 8;
+
+/// A[r][c] for the workload's square matrix.
+Value *gepA(IRBuilder &B, GlobalVariable *A, std::int64_t N, Value *R,
+            Value *C) {
+  return B.createGep2D(A, R, C, N, Elem);
+}
+
+} // namespace
+
+std::unique_ptr<Workload> workloads::buildLu(Scale S) {
+  LuConfig Cfg = configFor(S);
+  const std::int64_t N = Cfg.N, BS = Cfg.Block;
+
+  auto W = std::make_unique<Workload>();
+  W->Name = "LU";
+  W->M = std::make_unique<Module>("lu");
+  Module &M = *W->M;
+  auto *A = M.createGlobal("A", static_cast<std::uint64_t>(N) * N * Elem);
+
+  // --- Task: diagonal block factorization (Listing 1(b)) -----------------
+  // args: (K0) block origin; loops i, j=i+1.., m=i+1.. over the block.
+  Function *Diag = M.createFunction("lu_diag", Type::Void, {Type::Int64});
+  Diag->setTask(true);
+  {
+    IRBuilder B(M, Diag->createBlock("entry"));
+    Value *K0 = Diag->getArg(0);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "i",
+                    [&](IRBuilder &B, Value *I) {
+      Value *IP1 = B.createAdd(I, B.getInt(1));
+      Value *Kii = B.createAdd(K0, I);
+      emitCountedLoop(B, IP1, B.getInt(BS), B.getInt(1), "j",
+                      [&](IRBuilder &B, Value *J) {
+        Value *Kj = B.createAdd(K0, J);
+        Value *Pji = gepA(B, A, N, Kj, Kii);
+        Value *Pii = gepA(B, A, N, Kii, Kii);
+        Value *L = B.createFDiv(B.createLoad(Type::Float64, Pji),
+                                B.createLoad(Type::Float64, Pii));
+        B.createStore(L, Pji);
+        emitCountedLoop(B, IP1, B.getInt(BS), B.getInt(1), "m",
+                        [&](IRBuilder &B, Value *Mi) {
+          Value *Km = B.createAdd(K0, Mi);
+          Value *Pjm = gepA(B, A, N, Kj, Km);
+          Value *Pim = gepA(B, A, N, Kii, Km);
+          Value *Upd = B.createFSub(
+              B.createLoad(Type::Float64, Pjm),
+              B.createFMul(B.createLoad(Type::Float64, Pji),
+                           B.createLoad(Type::Float64, Pim)));
+          B.createStore(Upd, Pjm);
+        });
+      });
+    });
+    B.createRet();
+  }
+
+  // Manual access for the diagonal block: the expert prefetches only the
+  // lower triangle (selective prefetching).
+  Function *DiagAccess =
+      M.createFunction("lu_diag.manual", Type::Void, {Type::Int64});
+  {
+    IRBuilder B(M, DiagAccess->createBlock("entry"));
+    Value *K0 = DiagAccess->getArg(0);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "i",
+                    [&](IRBuilder &B, Value *I) {
+      Value *IP1 = B.createAdd(I, B.getInt(1));
+      emitCountedLoop(B, B.getInt(0), IP1, B.getInt(1), "j",
+                      [&](IRBuilder &B, Value *J) {
+        B.createPrefetch(gepA(B, A, N, B.createAdd(K0, I),
+                              B.createAdd(K0, J)));
+      });
+    });
+    B.createRet();
+  }
+
+  // --- Task: row panel (apply L_kk below the diagonal to A[k][j]) --------
+  // args: (K0, J0).
+  Function *Row =
+      M.createFunction("lu_row", Type::Void, {Type::Int64, Type::Int64});
+  Row->setTask(true);
+  {
+    IRBuilder B(M, Row->createBlock("entry"));
+    Value *K0 = Row->getArg(0), *J0 = Row->getArg(1);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "i",
+                    [&](IRBuilder &B, Value *I) {
+      Value *IP1 = B.createAdd(I, B.getInt(1));
+      emitCountedLoop(B, IP1, B.getInt(BS), B.getInt(1), "r",
+                      [&](IRBuilder &B, Value *R) {
+        Value *Lri = B.createLoad(
+            Type::Float64,
+            gepA(B, A, N, B.createAdd(K0, R), B.createAdd(K0, I)));
+        emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "c",
+                        [&](IRBuilder &B, Value *C) {
+          Value *Dst = gepA(B, A, N, B.createAdd(K0, R), B.createAdd(J0, C));
+          Value *Src = gepA(B, A, N, B.createAdd(K0, I), B.createAdd(J0, C));
+          Value *Upd = B.createFSub(
+              B.createLoad(Type::Float64, Dst),
+              B.createFMul(Lri, B.createLoad(Type::Float64, Src)));
+          B.createStore(Upd, Dst);
+        });
+      });
+    });
+    B.createRet();
+  }
+
+  // Manual access for the row panel: prefetch the target block only.
+  Function *RowAccess =
+      M.createFunction("lu_row.manual", Type::Void, {Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, RowAccess->createBlock("entry"));
+    Value *J0 = RowAccess->getArg(1);
+    Value *K0 = RowAccess->getArg(0);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "r",
+                    [&](IRBuilder &B, Value *R) {
+      emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "c",
+                      [&](IRBuilder &B, Value *C) {
+        B.createPrefetch(gepA(B, A, N, B.createAdd(K0, R),
+                              B.createAdd(J0, C)));
+      });
+    });
+    B.createRet();
+  }
+
+  // --- Task: column panel (divide by U diagonal, update within column) ---
+  // args: (I0, K0).
+  Function *Col =
+      M.createFunction("lu_col", Type::Void, {Type::Int64, Type::Int64});
+  Col->setTask(true);
+  {
+    IRBuilder B(M, Col->createBlock("entry"));
+    Value *I0 = Col->getArg(0), *K0 = Col->getArg(1);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "c",
+                    [&](IRBuilder &B, Value *C) {
+      Value *CP1 = B.createAdd(C, B.getInt(1));
+      Value *Kc = B.createAdd(K0, C);
+      emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "r",
+                      [&](IRBuilder &B, Value *R) {
+        Value *Ir = B.createAdd(I0, R);
+        Value *Prc = gepA(B, A, N, Ir, Kc);
+        Value *Pcc = gepA(B, A, N, Kc, Kc);
+        Value *L = B.createFDiv(B.createLoad(Type::Float64, Prc),
+                                B.createLoad(Type::Float64, Pcc));
+        B.createStore(L, Prc);
+        emitCountedLoop(B, CP1, B.getInt(BS), B.getInt(1), "m",
+                        [&](IRBuilder &B, Value *Mi) {
+          Value *Km = B.createAdd(K0, Mi);
+          Value *Prm = gepA(B, A, N, Ir, Km);
+          Value *Pcm = gepA(B, A, N, Kc, Km);
+          Value *Upd = B.createFSub(
+              B.createLoad(Type::Float64, Prm),
+              B.createFMul(L, B.createLoad(Type::Float64, Pcm)));
+          B.createStore(Upd, Prm);
+        });
+      });
+    });
+    B.createRet();
+  }
+
+  // Manual access for the column panel: target block only.
+  Function *ColAccess =
+      M.createFunction("lu_col.manual", Type::Void, {Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, ColAccess->createBlock("entry"));
+    Value *I0 = ColAccess->getArg(0), *K0 = ColAccess->getArg(1);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "r",
+                    [&](IRBuilder &B, Value *R) {
+      emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "c",
+                      [&](IRBuilder &B, Value *C) {
+        B.createPrefetch(gepA(B, A, N, B.createAdd(I0, R),
+                              B.createAdd(K0, C)));
+      });
+    });
+    B.createRet();
+  }
+
+  // --- Task: trailing update A_ij -= A_ik * A_kj (Listing 3 shape) -------
+  // args: (I0, J0, K0).
+  Function *Upd = M.createFunction(
+      "lu_update", Type::Void, {Type::Int64, Type::Int64, Type::Int64});
+  Upd->setTask(true);
+  {
+    IRBuilder B(M, Upd->createBlock("entry"));
+    Value *I0 = Upd->getArg(0), *J0 = Upd->getArg(1), *K0 = Upd->getArg(2);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "r",
+                    [&](IRBuilder &B, Value *R) {
+      Value *Ir = B.createAdd(I0, R);
+      emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "m",
+                      [&](IRBuilder &B, Value *Mi) {
+        Value *Km = B.createAdd(K0, Mi);
+        Value *Lrm =
+            B.createLoad(Type::Float64, gepA(B, A, N, Ir, Km));
+        emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "c",
+                        [&](IRBuilder &B, Value *C) {
+          Value *Jc = B.createAdd(J0, C);
+          Value *Dst = gepA(B, A, N, Ir, Jc);
+          Value *Umc = B.createLoad(Type::Float64, gepA(B, A, N, Km, Jc));
+          Value *V = B.createFSub(B.createLoad(Type::Float64, Dst),
+                                  B.createFMul(Lrm, Umc));
+          B.createStore(V, Dst);
+        });
+      });
+    });
+    B.createRet();
+  }
+
+  // Manual access for the update: prefetch the two source blocks, skip the
+  // destination (selective).
+  Function *UpdAccess = M.createFunction(
+      "lu_update.manual", Type::Void,
+      {Type::Int64, Type::Int64, Type::Int64});
+  {
+    IRBuilder B(M, UpdAccess->createBlock("entry"));
+    Value *I0 = UpdAccess->getArg(0), *J0 = UpdAccess->getArg(1),
+          *K0 = UpdAccess->getArg(2);
+    emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "r",
+                    [&](IRBuilder &B, Value *R) {
+      emitCountedLoop(B, B.getInt(0), B.getInt(BS), B.getInt(1), "c",
+                      [&](IRBuilder &B, Value *C) {
+        B.createPrefetch(gepA(B, A, N, B.createAdd(I0, R),
+                              B.createAdd(K0, C)));
+        B.createPrefetch(gepA(B, A, N, B.createAdd(K0, R),
+                              B.createAdd(J0, C)));
+      });
+    });
+    B.createRet();
+  }
+
+  W->ManualAccess = {{Diag, DiagAccess},
+                     {Row, RowAccess},
+                     {Col, ColAccess},
+                     {Upd, UpdAccess}};
+
+  // --- Dynamic task list (waves encode the factorization order) ----------
+  const std::int64_t NB = N / BS;
+  unsigned Wave = 0;
+  auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };
+  for (std::int64_t K = 0; K != NB; ++K) {
+    W->Tasks.push_back({Diag, nullptr, {I64(K * BS)}, Wave++});
+    if (K + 1 < NB) {
+      for (std::int64_t J = K + 1; J != NB; ++J)
+        W->Tasks.push_back({Row, nullptr, {I64(K * BS), I64(J * BS)}, Wave});
+      for (std::int64_t I = K + 1; I != NB; ++I)
+        W->Tasks.push_back({Col, nullptr, {I64(I * BS), I64(K * BS)}, Wave});
+      ++Wave;
+      for (std::int64_t I = K + 1; I != NB; ++I)
+        for (std::int64_t J = K + 1; J != NB; ++J)
+          W->Tasks.push_back(
+              {Upd, nullptr, {I64(I * BS), I64(J * BS), I64(K * BS)}, Wave});
+      ++Wave;
+    }
+  }
+
+  // --- Data: diagonally dominant matrix -----------------------------------
+  W->Init = [N](sim::Memory &Mem, const sim::Loader &L) {
+    std::uint64_t Base = L.baseOf("A");
+    SplitMixRng Rng(0xA11CE);
+    for (std::int64_t R = 0; R != N; ++R)
+      for (std::int64_t C = 0; C != N; ++C) {
+        double V = Rng.nextDouble();
+        if (R == C)
+          V += static_cast<double>(2 * N);
+        Mem.storeF64(Base + static_cast<std::uint64_t>((R * N + C) * Elem),
+                     V);
+      }
+  };
+  W->OutputGlobals = {"A"};
+  W->OutputSizes = {static_cast<std::uint64_t>(N) * N * Elem};
+
+  // Representative parameters for counting: block offsets within the array.
+  W->Opts.RepresentativeArgs = {BS, 2 * BS, 3 * BS};
+  return W;
+}

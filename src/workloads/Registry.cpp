@@ -1,0 +1,43 @@
+//===- workloads/Registry.cpp - Workload factory ----------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include <cassert>
+
+using namespace dae;
+using namespace dae::workloads;
+
+std::vector<std::unique_ptr<Workload>> workloads::buildAll(Scale S) {
+  std::vector<std::unique_ptr<Workload>> All;
+  All.push_back(buildLu(S));
+  All.push_back(buildCholesky(S));
+  All.push_back(buildFft(S));
+  All.push_back(buildLbm(S));
+  All.push_back(buildLibQuantum(S));
+  All.push_back(buildCigar(S));
+  All.push_back(buildCg(S));
+  return All;
+}
+
+std::unique_ptr<Workload> workloads::buildByName(const std::string &Name,
+                                                 Scale S) {
+  if (Name == "lu")
+    return buildLu(S);
+  if (Name == "cholesky")
+    return buildCholesky(S);
+  if (Name == "fft")
+    return buildFft(S);
+  if (Name == "lbm")
+    return buildLbm(S);
+  if (Name == "libq")
+    return buildLibQuantum(S);
+  if (Name == "cigar")
+    return buildCigar(S);
+  if (Name == "cg")
+    return buildCg(S);
+  return nullptr;
+}

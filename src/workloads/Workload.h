@@ -1,0 +1,81 @@
+//===- workloads/Workload.h - Benchmark workload interface ------*- C++ -*-===//
+//
+// Part of daecc, a reproduction of "Fix the code. Don't tweak the hardware"
+// (CGO 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seven applications of the paper's evaluation (section 6), ported to
+/// Task IR: LU, Cholesky, FFT (SPLASH2-style compute-bound kernels), LBM and
+/// libquantum (SPEC-style), CIGAR (case-injected genetic algorithm), and CG
+/// (NAS). Each workload provides its module, the dynamic task list, a
+/// deterministic data initializer, hand-written "Manual DAE" access phases
+/// reproducing the expert versions described in section 6.2, and the
+/// representative parameters the affine generator counts with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_WORKLOADS_WORKLOAD_H
+#define DAECC_WORKLOADS_WORKLOAD_H
+
+#include "dae/DaeOptions.h"
+#include "ir/Module.h"
+#include "runtime/Task.h"
+#include "sim/Memory.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dae {
+namespace workloads {
+
+/// A benchmark instance: IR, tasks, data, and expert access phases.
+struct Workload {
+  std::string Name;
+  std::unique_ptr<ir::Module> M;
+
+  /// Dynamic task list (Execute set; Access filled per scheme by the
+  /// harness).
+  std::vector<runtime::Task> Tasks;
+
+  /// Expert-written access phase per task function (section 6.2's Manual
+  /// DAE), already registered in the module.
+  std::map<const ir::Function *, const ir::Function *> ManualAccess;
+
+  /// Generator options (representative argument values for counting).
+  DaeOptions Opts;
+
+  /// Fills the workload's arrays with deterministic data.
+  std::function<void(sim::Memory &, const sim::Loader &)> Init;
+
+  /// Names of output globals to compare for correctness (DAE must produce
+  /// bit-identical results to CAE: the access phase is a pure prefetch).
+  std::vector<std::string> OutputGlobals;
+  std::vector<std::uint64_t> OutputSizes; ///< Bytes, parallel to names.
+};
+
+/// Scale of a workload build (Small for tests, Full for the paper figures).
+enum class Scale { Test, Full };
+
+std::unique_ptr<Workload> buildLu(Scale S);
+std::unique_ptr<Workload> buildCholesky(Scale S);
+std::unique_ptr<Workload> buildFft(Scale S);
+std::unique_ptr<Workload> buildLbm(Scale S);
+std::unique_ptr<Workload> buildLibQuantum(Scale S);
+std::unique_ptr<Workload> buildCigar(Scale S);
+std::unique_ptr<Workload> buildCg(Scale S);
+
+/// All seven, in the paper's Table 1 order.
+std::vector<std::unique_ptr<Workload>> buildAll(Scale S);
+
+/// Factory by name ("lu", "cholesky", "fft", "lbm", "libq", "cigar", "cg").
+std::unique_ptr<Workload> buildByName(const std::string &Name, Scale S);
+
+} // namespace workloads
+} // namespace dae
+
+#endif // DAECC_WORKLOADS_WORKLOAD_H

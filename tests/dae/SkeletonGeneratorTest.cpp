@@ -1,0 +1,369 @@
+//===- tests/dae/SkeletonGeneratorTest.cpp - Section 5.2 unit tests -------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+// Exercises the skeleton path: the six-step marking algorithm, CFG
+// simplification, store discarding, prefetch-once dedup, inlining as a
+// precondition, and the safety rejections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dae/AccessGenerator.h"
+
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace dae;
+using namespace dae::ir;
+
+namespace {
+
+constexpr std::int64_t Elems = 4096;
+constexpr std::int64_t Elem = 8;
+
+struct CountVisitor {
+  unsigned Prefetches = 0;
+  unsigned Loads = 0;
+  unsigned Stores = 0;
+  unsigned CondBranches = 0;
+  unsigned Loops = 0;
+
+  explicit CountVisitor(Function &F) {
+    for (const auto &BB : F)
+      for (const auto &I : *BB) {
+        if (isa<PrefetchInst>(I.get()))
+          ++Prefetches;
+        else if (isa<LoadInst>(I.get()))
+          ++Loads;
+        else if (isa<StoreInst>(I.get()))
+          ++Stores;
+        else if (auto *Br = dyn_cast<BrInst>(I.get()))
+          CondBranches += Br->isConditional();
+      }
+    analysis::LoopInfo LI(F);
+    Loops = static_cast<unsigned>(LI.loops().size());
+  }
+};
+
+/// Indirect (sparse-style) sum: for i in [0,n): acc += Val[Col[i]].
+/// The Col load feeds an address, so the skeleton must keep it as a load;
+/// the Val load is pure payload and must be reduced to a prefetch.
+Function *buildIndirect(Module &M) {
+  auto *Col = M.createGlobal("Col", Elems * Elem);
+  auto *Val = M.createGlobal("Val", Elems * Elem);
+  auto *Out = M.createGlobal("Out", Elem);
+  Function *F = M.createFunction("indirect", Type::Void, {Type::Int64});
+  F->setTask(true);
+  IRBuilder B(M, F->createBlock("entry"));
+  Value *N = F->getArg(0);
+
+  // Accumulate through memory (Out[0]) so the reduction survives in the
+  // execute phase but is discardable in the access phase.
+  emitCountedLoop(
+      B, B.getInt(0), N, B.getInt(1), "i", [&](IRBuilder &B, Value *I) {
+        Value *ColPtr = B.createGep1D(Col, I, Elem);
+        Value *Idx = B.createLoad(Type::Int64, ColPtr);
+        Value *ValPtr = B.createGep1D(Val, Idx, Elem);
+        Value *V = B.createLoad(Type::Float64, ValPtr);
+        Value *OutPtr = B.createGep1D(Out, B.getInt(0), Elem);
+        Value *Acc = B.createLoad(Type::Float64, OutPtr);
+        B.createStore(B.createFAdd(Acc, V), OutPtr);
+      });
+  B.createRet();
+  EXPECT_TRUE(verifyFunction(*F).empty()) << printFunction(*F);
+  return F;
+}
+
+/// Data-dependent branch in the loop body:
+///   for i: if (Flag[i] > 0) { Out[0] += Data[i]; }
+Function *buildConditional(Module &M) {
+  auto *Flag = M.createGlobal("Flag", Elems * Elem);
+  auto *Data = M.createGlobal("Data", Elems * Elem);
+  auto *Out = M.createGlobal("Out", Elem);
+  Function *F = M.createFunction("cond", Type::Void, {Type::Int64});
+  F->setTask(true);
+  IRBuilder B(M, F->createBlock("entry"));
+  Value *N = F->getArg(0);
+
+  emitCountedLoop(
+      B, B.getInt(0), N, B.getInt(1), "i", [&](IRBuilder &B, Value *I) {
+        Value *FlagPtr = B.createGep1D(Flag, I, Elem);
+        Value *Fv = B.createLoad(Type::Int64, FlagPtr);
+        Value *Cond = B.createCmp(CmpPred::SGT, Fv, B.getInt(0));
+        Function *Fn = B.getInsertBlock()->getParent();
+        BasicBlock *Then = Fn->createBlock("then");
+        BasicBlock *Join = Fn->createBlock("join");
+        B.createCondBr(Cond, Then, Join);
+        B.setInsertBlock(Then);
+        Value *DataPtr = B.createGep1D(Data, I, Elem);
+        Value *D = B.createLoad(Type::Float64, DataPtr);
+        Value *OutPtr = B.createGep1D(Out, B.getInt(0), Elem);
+        B.createStore(B.createFAdd(B.createLoad(Type::Float64, OutPtr), D),
+                      OutPtr);
+        B.createBr(Join);
+        B.setInsertBlock(Join);
+      });
+  B.createRet();
+  EXPECT_TRUE(verifyFunction(*F).empty()) << printFunction(*F);
+  return F;
+}
+
+TEST(SkeletonGeneratorTest, IndirectAccessKeepsAddressLoads) {
+  Module M;
+  Function *Task = buildIndirect(M);
+  DaeOptions Opts;
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Opts);
+
+  ASSERT_TRUE(R.succeeded()) << R.Notes;
+  EXPECT_EQ(R.Strategy, analysis::TaskClass::Skeleton);
+  CountVisitor V(*R.AccessFn);
+  // Col[i] load survives (feeds Val's address); Val load is dropped in
+  // favour of its prefetch; Out accumulation disappears entirely.
+  EXPECT_EQ(V.Loads, 1u) << printFunction(*R.AccessFn);
+  EXPECT_EQ(V.Stores, 0u);
+  // Prefetches: Col[i], Val[Col[i]], and (deduped) nothing else. The Out[0]
+  // read is loop-invariant but still a guaranteed external read.
+  EXPECT_GE(V.Prefetches, 2u);
+  EXPECT_EQ(V.Loops, 1u);
+  EXPECT_TRUE(verifyFunction(*R.AccessFn).empty())
+      << printFunction(*R.AccessFn);
+}
+
+TEST(SkeletonGeneratorTest, SimplifiedCfgDropsConditional) {
+  Module M;
+  Function *Task = buildConditional(M);
+  DaeOptions Opts; // SimplifyCfg on by default.
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Opts);
+
+  ASSERT_TRUE(R.succeeded()) << R.Notes;
+  CountVisitor V(*R.AccessFn);
+  // Only the loop exit test remains conditional; the flag-dependent branch
+  // and everything under it (the Data/Out accesses) are gone.
+  EXPECT_EQ(V.CondBranches, 1u) << printFunction(*R.AccessFn);
+  EXPECT_EQ(V.Prefetches, 1u); // Flag[i] only.
+  EXPECT_EQ(V.Stores, 0u);
+}
+
+TEST(SkeletonGeneratorTest, KeepingConditionalsPrefetchesMore) {
+  Module M;
+  Function *Task = buildConditional(M);
+  DaeOptions Opts;
+  Opts.SimplifyCfg = false;
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Opts);
+
+  ASSERT_TRUE(R.succeeded()) << R.Notes;
+  CountVisitor V(*R.AccessFn);
+  // The data-dependent branch survives, and with it the conditional
+  // prefetches of Data[i] / Out[0].
+  EXPECT_EQ(V.CondBranches, 2u) << printFunction(*R.AccessFn);
+  EXPECT_GE(V.Prefetches, 2u);
+  // The flag load must survive (it feeds control flow).
+  EXPECT_GE(V.Loads, 1u);
+  EXPECT_EQ(V.Stores, 0u);
+}
+
+TEST(SkeletonGeneratorTest, StoresAreDiscardedNotPrefetched) {
+  // Pure streaming store: for i: Dst[i] = Src[i] * 2.
+  Module M;
+  auto *Src = M.createGlobal("Src", Elems * Elem);
+  auto *Dst = M.createGlobal("Dst", Elems * Elem);
+  Function *Task = M.createFunction("stream", Type::Void, {Type::Int64});
+  Task->setTask(true);
+  IRBuilder B(M, Task->createBlock("entry"));
+  emitCountedLoop(B, B.getInt(0), Task->getArg(0), B.getInt(1), "i",
+                  [&](IRBuilder &B, Value *I) {
+                    Value *SrcPtr = B.createGep1D(Src, I, Elem);
+                    Value *V = B.createLoad(Type::Float64, SrcPtr);
+                    Value *Two = B.getFloat(2.0);
+                    Value *DstPtr = B.createGep1D(Dst, I, Elem);
+                    B.createStore(B.createFMul(V, Two), DstPtr);
+                  });
+  B.createRet();
+
+  {
+    Module M2; // Fresh module for the ablation variant.
+    (void)M2;
+  }
+  DaeOptions Plain;
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Plain);
+  ASSERT_TRUE(R.succeeded()) << R.Notes;
+  CountVisitor V(*R.AccessFn);
+  EXPECT_EQ(V.Stores, 0u);
+  EXPECT_EQ(V.Prefetches, 1u); // Src[i] only; Dst never prefetched.
+}
+
+TEST(SkeletonGeneratorTest, PrefetchWritesAblationAddsStorePrefetch) {
+  Module M;
+  auto *Src = M.createGlobal("Src", Elems * Elem);
+  auto *Dst = M.createGlobal("Dst", Elems * Elem);
+  Function *Task = M.createFunction("stream", Type::Void, {Type::Int64});
+  Task->setTask(true);
+  IRBuilder B(M, Task->createBlock("entry"));
+  emitCountedLoop(B, B.getInt(0), Task->getArg(0), B.getInt(1), "i",
+                  [&](IRBuilder &B, Value *I) {
+                    Value *SrcPtr = B.createGep1D(Src, I, Elem);
+                    Value *V = B.createLoad(Type::Float64, SrcPtr);
+                    Value *DstPtr = B.createGep1D(Dst, I, Elem);
+                    B.createStore(B.createFMul(V, B.getFloat(2.0)), DstPtr);
+                  });
+  B.createRet();
+
+  DaeOptions Opts;
+  Opts.PrefetchWrites = true;
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Opts);
+  ASSERT_TRUE(R.succeeded()) << R.Notes;
+  CountVisitor V(*R.AccessFn);
+  EXPECT_EQ(V.Stores, 0u);      // Stores are still discarded...
+  EXPECT_EQ(V.Prefetches, 2u);  // ...but Dst[i] is now prefetched too.
+}
+
+TEST(SkeletonGeneratorTest, PrefetchOncePerAddressValue) {
+  // Two loads from the identical GEP: only one prefetch is emitted.
+  Module M;
+  auto *A = M.createGlobal("A", Elems * Elem);
+  auto *Out = M.createGlobal("Out", Elem);
+  Function *Task = M.createFunction("dup", Type::Void, {Type::Int64});
+  Task->setTask(true);
+  IRBuilder B(M, Task->createBlock("entry"));
+  emitCountedLoop(
+      B, B.getInt(0), Task->getArg(0), B.getInt(1), "i",
+      [&](IRBuilder &B, Value *I) {
+        // Use srem (non-affine) so the task stays on the skeleton path.
+        Value *Idx = B.createSRem(I, B.getInt(7));
+        Value *Ptr = B.createGep1D(A, Idx, Elem);
+        Value *V1 = B.createLoad(Type::Float64, Ptr);
+        Value *V2 = B.createLoad(Type::Float64, Ptr);
+        Value *OutPtr = B.createGep1D(Out, B.getInt(0), Elem);
+        B.createStore(B.createFAdd(V1, V2), OutPtr);
+      });
+  B.createRet();
+
+  DaeOptions Opts;
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Opts);
+  ASSERT_TRUE(R.succeeded()) << R.Notes;
+  EXPECT_EQ(R.Strategy, analysis::TaskClass::Skeleton);
+  CountVisitor V(*R.AccessFn);
+  EXPECT_EQ(V.Prefetches, 1u) << printFunction(*R.AccessFn);
+}
+
+TEST(SkeletonGeneratorTest, NonInlinableCallRejectsTask) {
+  Module M;
+  Function *Ext = M.createFunction("external", Type::Float64, {Type::Int64});
+  Ext->setNoInline(true);
+  {
+    IRBuilder B(M, Ext->createBlock("entry"));
+    B.createRet(B.createCast(CastOp::SIToFP, Ext->getArg(0)));
+  }
+  auto *Out = M.createGlobal("Out", Elem);
+  Function *Task = M.createFunction("caller", Type::Void, {Type::Int64});
+  Task->setTask(true);
+  IRBuilder B(M, Task->createBlock("entry"));
+  Value *R1 = B.createCall(Ext, {Task->getArg(0)});
+  B.createStore(R1, B.createGep1D(Out, B.getInt(0), Elem));
+  B.createRet();
+
+  DaeOptions Opts;
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Opts);
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_EQ(R.Strategy, analysis::TaskClass::Rejected);
+}
+
+TEST(SkeletonGeneratorTest, InlinableCallIsAbsorbed) {
+  // A task calling an inlinable helper gets an access phase with no calls.
+  Module M;
+  auto *A = M.createGlobal("A", Elems * Elem);
+  auto *Out = M.createGlobal("Out", Elem);
+
+  Function *Helper = M.createFunction("helper", Type::Float64, {Type::Int64});
+  {
+    IRBuilder B(M, Helper->createBlock("entry"));
+    Value *Ptr = B.createGep1D(A, Helper->getArg(0), Elem);
+    B.createRet(B.createLoad(Type::Float64, Ptr));
+  }
+
+  Function *Task = M.createFunction("caller", Type::Void, {Type::Int64});
+  Task->setTask(true);
+  IRBuilder B(M, Task->createBlock("entry"));
+  emitCountedLoop(B, B.getInt(0), Task->getArg(0), B.getInt(1), "i",
+                  [&](IRBuilder &B, Value *I) {
+                    Value *Idx = B.createSRem(I, B.getInt(13));
+                    Value *V = B.createCall(Helper, {Idx});
+                    Value *OutPtr = B.createGep1D(Out, B.getInt(0), Elem);
+                    B.createStore(V, OutPtr);
+                  });
+  B.createRet();
+
+  DaeOptions Opts;
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Opts);
+  ASSERT_TRUE(R.succeeded()) << R.Notes;
+  for (const auto &BB : *R.AccessFn)
+    for (const auto &I : *BB)
+      EXPECT_FALSE(isa<CallInst>(I.get()));
+  CountVisitor V(*R.AccessFn);
+  EXPECT_GE(V.Prefetches, 1u);
+}
+
+TEST(SkeletonGeneratorTest, AddressFromOwnStoreRejectsTask) {
+  // The task stores an index into Tmp and reads it back to form an address:
+  // generating an access version would require replicating the write to
+  // externally visible state (section 5.2.2 step 5).
+  Module M;
+  auto *Tmp = M.createGlobal("Tmp", Elem);
+  auto *A = M.createGlobal("A", Elems * Elem);
+  auto *Out = M.createGlobal("Out", Elem);
+  Function *Task = M.createFunction("selfdep", Type::Void, {Type::Int64});
+  Task->setTask(true);
+  IRBuilder B(M, Task->createBlock("entry"));
+  Value *TmpPtr = B.createGep1D(Tmp, B.getInt(0), Elem);
+  B.createStore(Task->getArg(0), TmpPtr);
+  Value *Idx = B.createLoad(Type::Int64, TmpPtr);
+  Value *V = B.createLoad(Type::Float64, B.createGep1D(A, Idx, Elem));
+  B.createStore(V, B.createGep1D(Out, B.getInt(0), Elem));
+  B.createRet();
+
+  DaeOptions Opts;
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Opts);
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_EQ(R.Strategy, analysis::TaskClass::Rejected);
+}
+
+TEST(SkeletonGeneratorTest, EmptiedLoopsAreDeleted) {
+  // A loop whose body only computes stored values leaves no prefetches
+  // behind; the dead IV shell must not survive into the access phase.
+  Module M;
+  auto *Dst = M.createGlobal("Dst", Elems * Elem);
+  auto *Src = M.createGlobal("Src", Elems * Elem);
+  Function *Task = M.createFunction("two_loops", Type::Void, {Type::Int64});
+  Task->setTask(true);
+  IRBuilder B(M, Task->createBlock("entry"));
+  // Loop 1: Dst[i] = i * 3 (no reads at all).
+  emitCountedLoop(B, B.getInt(0), Task->getArg(0), B.getInt(1), "a",
+                  [&](IRBuilder &B, Value *I) {
+                    Value *V = B.createMul(I, B.getInt(3));
+                    B.createStore(B.createCast(CastOp::SIToFP, V),
+                                  B.createGep1D(Dst, I, Elem));
+                  });
+  // Loop 2: reads Src (so the task is not read-free overall), non-affine.
+  emitCountedLoop(B, B.getInt(0), Task->getArg(0), B.getInt(1), "b",
+                  [&](IRBuilder &B, Value *I) {
+                    Value *Idx = B.createSRem(I, B.getInt(5));
+                    Value *V =
+                        B.createLoad(Type::Float64, B.createGep1D(Src, Idx, Elem));
+                    B.createStore(V, B.createGep1D(Dst, I, Elem));
+                  });
+  B.createRet();
+
+  DaeOptions Opts;
+  AccessPhaseResult R = generateAccessPhase(M, *Task, Opts);
+  ASSERT_TRUE(R.succeeded()) << R.Notes;
+  CountVisitor V(*R.AccessFn);
+  EXPECT_EQ(V.Loops, 1u) << printFunction(*R.AccessFn); // Loop 1 deleted.
+  EXPECT_EQ(V.Prefetches, 1u);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/ir/IRTest.cpp - Task IR unit tests -----------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cloner.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace dae;
+using namespace dae::ir;
+
+namespace {
+
+TEST(ModuleTest, ConstantsAreUniqued) {
+  Module M;
+  EXPECT_EQ(M.getInt(7), M.getInt(7));
+  EXPECT_NE(M.getInt(7), M.getInt(8));
+  EXPECT_EQ(M.getFloat(1.5), M.getFloat(1.5));
+  EXPECT_NE(M.getFloat(1.5), M.getFloat(-1.5));
+}
+
+TEST(ModuleTest, GlobalsAndFunctionsByName) {
+  Module M;
+  auto *G = M.createGlobal("buf", 256);
+  EXPECT_EQ(M.getGlobal("buf"), G);
+  EXPECT_EQ(M.getGlobal("nope"), nullptr);
+  auto *F = M.createFunction("f", Type::Void, {Type::Int64});
+  EXPECT_EQ(M.getFunction("f"), F);
+  F->setTask(true);
+  EXPECT_EQ(M.tasks().size(), 1u);
+}
+
+TEST(UseDefTest, UsersTrackOperands) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void, {Type::Int64});
+  IRBuilder B(M, F->createBlock("entry"));
+  Value *X = F->getArg(0);
+  Value *A = B.createAdd(X, M.getInt(1));
+  Value *Mul = B.createMul(A, A);
+  B.createRet();
+
+  // A is used twice by Mul.
+  auto *AInst = cast<Instruction>(A);
+  EXPECT_EQ(AInst->users().size(), 2u);
+  EXPECT_EQ(AInst->users()[0], Mul);
+
+  // RAUW rewires both uses.
+  A->replaceAllUsesWith(X);
+  EXPECT_TRUE(AInst->users().empty());
+  EXPECT_EQ(cast<Instruction>(Mul)->getOperand(0), X);
+  EXPECT_EQ(cast<Instruction>(Mul)->getOperand(1), X);
+}
+
+TEST(BasicBlockTest, TerminatorAndSuccessors) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void, {Type::Int64});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  IRBuilder B(M, Entry);
+  Value *C = B.createCmp(CmpPred::SGT, F->getArg(0), M.getInt(0));
+  B.createCondBr(C, Then, Else);
+  B.setInsertBlock(Then);
+  B.createRet();
+  B.setInsertBlock(Else);
+  B.createRet();
+
+  EXPECT_EQ(Entry->successors().size(), 2u);
+  EXPECT_EQ(Then->predecessors().size(), 1u);
+  EXPECT_EQ(Then->predecessors()[0], Entry);
+  EXPECT_NE(Entry->getTerminator(), nullptr);
+}
+
+TEST(VerifierTest, AcceptsWellFormedLoop) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void, {Type::Int64});
+  IRBuilder B(M, F->createBlock("entry"));
+  emitCountedLoop(B, B.getInt(0), F->getArg(0), B.getInt(1), "i",
+                  [&](IRBuilder &, Value *) {});
+  B.createRet();
+  EXPECT_TRUE(verifyFunction(*F).empty()) << printFunction(*F);
+}
+
+TEST(VerifierTest, FlagsMissingTerminator) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void, {});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M, BB);
+  B.createAdd(M.getInt(1), M.getInt(2));
+  auto Problems = verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, FlagsTypeMismatch) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Void, {Type::Float64});
+  IRBuilder B(M, F->createBlock("entry"));
+  // Integer add of a float argument.
+  B.createAdd(F->getArg(0), M.getInt(1));
+  B.createRet();
+  EXPECT_FALSE(verifyFunction(*F).empty());
+}
+
+TEST(VerifierTest, FlagsCrossFunctionOperand) {
+  Module M;
+  Function *F1 = M.createFunction("f1", Type::Void, {Type::Int64});
+  Function *F2 = M.createFunction("f2", Type::Void, {});
+  {
+    IRBuilder B(M, F1->createBlock("entry"));
+    B.createRet();
+  }
+  BasicBlock *Entry2 = F2->createBlock("entry");
+  IRBuilder B(M, Entry2);
+  Value *Bad = B.createAdd(F1->getArg(0), M.getInt(1)); // Foreign argument.
+  B.createRet();
+  EXPECT_FALSE(verifyFunction(*F2).empty());
+  // Unhook the illegal cross-function use before module teardown.
+  Entry2->erase(cast<Instruction>(Bad));
+}
+
+TEST(ClonerTest, DeepCopiesLoops) {
+  Module M;
+  auto *G = M.createGlobal("g", 4096);
+  Function *F = M.createFunction("orig", Type::Void, {Type::Int64});
+  IRBuilder B(M, F->createBlock("entry"));
+  emitCountedLoop(B, B.getInt(0), F->getArg(0), B.getInt(1), "i",
+                  [&](IRBuilder &B, Value *I) {
+                    Value *P = B.createGep1D(G, I, 8);
+                    B.createStore(B.createCast(CastOp::SIToFP, I), P);
+                  });
+  B.createRet();
+
+  auto Clone = cloneFunction(*F, "copy");
+  EXPECT_EQ(Clone->getName(), "copy");
+  EXPECT_EQ(Clone->size(), F->size());
+  EXPECT_EQ(Clone->instructionCount(), F->instructionCount());
+  EXPECT_TRUE(verifyFunction(*Clone).empty()) << printFunction(*Clone);
+
+  // Clone shares no instructions with the original.
+  for (const auto &BB : *Clone)
+    for (const auto &I : *BB)
+      EXPECT_EQ(I->getFunction(), Clone.get());
+}
+
+TEST(PrinterTest, RendersRoundTrippableText) {
+  Module M;
+  auto *G = M.createGlobal("data", 64);
+  Function *F = M.createFunction("show", Type::Void, {Type::Int64});
+  F->setTask(true);
+  IRBuilder B(M, F->createBlock("entry"));
+  Value *P = B.createGep1D(G, F->getArg(0), 8);
+  Value *V = B.createLoad(Type::Float64, P);
+  B.createStore(B.createFMul(V, B.getFloat(2.0)), P);
+  B.createPrefetch(P);
+  B.createRet();
+
+  std::string Text = printFunction(*F);
+  EXPECT_NE(Text.find("task @show"), std::string::npos);
+  EXPECT_NE(Text.find("gep @data"), std::string::npos);
+  EXPECT_NE(Text.find("load f64"), std::string::npos);
+  EXPECT_NE(Text.find("prefetch"), std::string::npos);
+  EXPECT_NE(Text.find("fmul"), std::string::npos);
+}
+
+TEST(GepTest, StrideComputation) {
+  Module M;
+  auto *G = M.createGlobal("a", 1 << 20);
+  Function *F = M.createFunction("f", Type::Void, {Type::Int64});
+  IRBuilder B(M, F->createBlock("entry"));
+  GepInst *Gep = B.createGep(G, {F->getArg(0), F->getArg(0), F->getArg(0)},
+                             {0, 16, 32}, 8);
+  B.createRet();
+  EXPECT_EQ(Gep->getIndexStride(2), 8);
+  EXPECT_EQ(Gep->getIndexStride(1), 8 * 32);
+  EXPECT_EQ(Gep->getIndexStride(0), 8 * 32 * 16);
+}
+
+TEST(PhiTest, RemoveIncomingKeepsConsistency) {
+  Module M;
+  Function *F = M.createFunction("f", Type::Int64, {Type::Int64});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *BBlk = F->createBlock("b");
+  BasicBlock *Join = F->createBlock("join");
+  IRBuilder B(M, Entry);
+  Value *C = B.createCmp(CmpPred::SGT, F->getArg(0), M.getInt(0));
+  B.createCondBr(C, A, BBlk);
+  B.setInsertBlock(A);
+  B.createBr(Join);
+  B.setInsertBlock(BBlk);
+  B.createBr(Join);
+  B.setInsertBlock(Join);
+  PhiInst *Phi = B.createPhi(Type::Int64);
+  Phi->addIncoming(M.getInt(1), A);
+  Phi->addIncoming(M.getInt(2), BBlk);
+  B.createRet(Phi);
+
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  Phi->removeIncoming(0);
+  EXPECT_EQ(Phi->getNumIncoming(), 1u);
+  EXPECT_EQ(Phi->getIncomingBlock(0), BBlk);
+  EXPECT_EQ(cast<ConstantInt>(Phi->getIncomingValue(0))->getValue(), 2);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+//===- tests/poly/EhrhartTest.cpp - Ehrhart fitting tests -------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Ehrhart.h"
+
+#include <gtest/gtest.h>
+
+using namespace dae;
+using namespace dae::poly;
+
+namespace {
+
+/// Box [0, p-1] x [0, p-1] over (x0, x1, p).
+Polyhedron paramSquare() {
+  Polyhedron P(3);
+  P.addLowerBound(0, 0);
+  P.addInequality({-1, 0, 1}, -1); // x0 <= p - 1.
+  P.addLowerBound(1, 0);
+  P.addInequality({0, -1, 1}, -1); // x1 <= p - 1.
+  return P;
+}
+
+/// Triangle 0 <= x1 <= x0 <= p - 1 over (x0, x1, p).
+Polyhedron paramTriangle() {
+  Polyhedron P(3);
+  P.addLowerBound(0, 0);
+  P.addInequality({-1, 0, 1}, -1);
+  P.addLowerBound(1, 0);
+  P.addInequality({1, -1, 0}, 0);
+  return P;
+}
+
+TEST(EhrhartTest, SquareIsPSquared) {
+  auto E = fitEhrhart(paramSquare(), /*ParamVar=*/2, /*PStart=*/1,
+                      /*MaxDegree=*/2);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->degree(), 2u);
+  EXPECT_EQ(E->coefficients()[2], Rational(1));
+  EXPECT_EQ(E->coefficients()[1], Rational(0));
+  EXPECT_EQ(E->coefficients()[0], Rational(0));
+  EXPECT_EQ(E->evaluate(10), Rational(100));
+}
+
+TEST(EhrhartTest, TriangleIsBinomial) {
+  auto E = fitEhrhart(paramTriangle(), 2, 1, 2);
+  ASSERT_TRUE(E.has_value());
+  // p(p+1)/2 = p^2/2 + p/2.
+  EXPECT_EQ(E->coefficients()[2], Rational(1, 2));
+  EXPECT_EQ(E->coefficients()[1], Rational(1, 2));
+  EXPECT_EQ(E->evaluate(8), Rational(36));
+  EXPECT_EQ(E->str(), "1/2*p^2 + 1/2*p");
+}
+
+TEST(EhrhartTest, SegmentIsLinear) {
+  Polyhedron P(2); // (x, p): 0 <= x <= 2p.
+  P.addLowerBound(0, 0);
+  P.addInequality({-1, 2}, 0);
+  auto E = fitEhrhart(P, 1, 1, 2);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->degree(), 1u);
+  EXPECT_EQ(E->evaluate(5), Rational(11)); // 0..10.
+}
+
+TEST(EhrhartTest, DegreeTooLowIsRejected) {
+  // Fitting the square with a degree-1 polynomial fails holdout validation.
+  auto E = fitEhrhart(paramSquare(), 2, 1, 1);
+  EXPECT_FALSE(E.has_value());
+}
+
+TEST(EhrhartTest, UnboundedFamilyIsRejected) {
+  Polyhedron P(2); // x >= p with no upper bound.
+  P.addInequality({1, -1}, 0);
+  EXPECT_FALSE(fitEhrhart(P, 1, 1, 1).has_value());
+}
+
+TEST(EhrhartPolynomialTest, EvaluationAndPrinting) {
+  EhrhartPolynomial Poly({Rational(1), Rational(-2), Rational(3, 4)});
+  // 3/4 p^2 - 2p + 1 at p = 4: 12 - 8 + 1 = 5.
+  EXPECT_EQ(Poly.evaluate(4), Rational(5));
+  EXPECT_EQ(Poly.str(), "3/4*p^2 - 2*p + 1");
+  EhrhartPolynomial Zero({Rational(0)});
+  EXPECT_EQ(Zero.str(), "0");
+}
+
+} // namespace

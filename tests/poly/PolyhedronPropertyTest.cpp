@@ -1,0 +1,142 @@
+//===- tests/poly/PolyhedronPropertyTest.cpp - Randomized poly invariants --===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+// Seeded random polytopes checked against the library's algebraic
+// invariants: counting == enumeration, projection is a sound
+// over-approximation, instantiation commutes with membership, redundancy
+// removal preserves the point set, and the convex hull of a union contains
+// every member and is itself convex (midpoint closure on lattice points).
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/ConvexHull.h"
+#include "poly/Polyhedron.h"
+#include "support/MathUtil.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace dae;
+using namespace dae::poly;
+
+namespace {
+
+/// Random 2-D polytope: a box [0, a] x [0, b] cut by up to two random
+/// half-planes; always non-empty at the origin-ish corner.
+Polyhedron randomPolytope(SplitMixRng &Rng) {
+  Polyhedron P(2);
+  P.addLowerBound(0, 0);
+  P.addUpperBound(0, 3 + static_cast<std::int64_t>(Rng.nextBelow(12)));
+  P.addLowerBound(1, 0);
+  P.addUpperBound(1, 3 + static_cast<std::int64_t>(Rng.nextBelow(12)));
+  unsigned Cuts = static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned I = 0; I != Cuts; ++I) {
+    std::int64_t A = static_cast<std::int64_t>(Rng.nextBelow(5)) - 2;
+    std::int64_t B = static_cast<std::int64_t>(Rng.nextBelow(5)) - 2;
+    // Keep (0,0) feasible: constant >= 0.
+    std::int64_t C = static_cast<std::int64_t>(Rng.nextBelow(20));
+    P.addInequality({A, B}, C);
+  }
+  return P;
+}
+
+class PolyProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PolyProperty, CountMatchesEnumeration) {
+  SplitMixRng Rng(GetParam() * 31337 + 1);
+  Polyhedron P = randomPolytope(Rng);
+  auto Count = P.countIntegerPoints();
+  ASSERT_TRUE(Count.has_value());
+  auto Points = P.enumerateIntegerPoints();
+  EXPECT_EQ(*Count, static_cast<long long>(Points.size()));
+  for (const auto &Pt : Points)
+    EXPECT_TRUE(P.contains(Pt));
+}
+
+TEST_P(PolyProperty, ProjectionIsSoundOverApproximation) {
+  SplitMixRng Rng(GetParam() * 31337 + 2);
+  Polyhedron P = randomPolytope(Rng);
+  Polyhedron Proj = P.eliminate(1); // Shadow on x0.
+  for (const auto &Pt : P.enumerateIntegerPoints())
+    EXPECT_TRUE(Proj.contains(Pt))
+        << "projection lost (" << Pt[0] << ", " << Pt[1] << ")";
+}
+
+TEST_P(PolyProperty, InstantiationIsSliceMembership) {
+  SplitMixRng Rng(GetParam() * 31337 + 3);
+  Polyhedron P = randomPolytope(Rng);
+  for (std::int64_t X = 0; X <= 4; ++X) {
+    Polyhedron Slice = P.instantiate(0, X);
+    for (std::int64_t Y = 0; Y <= 20; ++Y)
+      EXPECT_EQ(Slice.contains({0, Y}), P.contains({X, Y}))
+          << "slice mismatch at (" << X << ", " << Y << ")";
+  }
+}
+
+TEST_P(PolyProperty, RedundancyRemovalPreservesPointSet) {
+  SplitMixRng Rng(GetParam() * 31337 + 4);
+  Polyhedron P = randomPolytope(Rng);
+  Polyhedron Q = P.removeRedundant();
+  EXPECT_LE(Q.getNumConstraints(), P.getNumConstraints());
+  EXPECT_EQ(P.countIntegerPoints().value(), Q.countIntegerPoints().value());
+  for (const auto &Pt : P.enumerateIntegerPoints())
+    EXPECT_TRUE(Q.contains(Pt));
+}
+
+TEST_P(PolyProperty, HullContainsMembersAndIsMidpointClosed) {
+  SplitMixRng Rng(GetParam() * 31337 + 5);
+  Polyhedron A = randomPolytope(Rng);
+  Polyhedron B = randomPolytope(Rng);
+  Polyhedron H = convexHullOfUnion({A, B});
+
+  auto PA = A.enumerateIntegerPoints();
+  auto PB = B.enumerateIntegerPoints();
+  for (const auto &Pt : PA)
+    EXPECT_TRUE(H.contains(Pt));
+  for (const auto &Pt : PB)
+    EXPECT_TRUE(H.contains(Pt));
+
+  // Midpoint closure: the integer midpoint of any two member points (when
+  // integral) must lie inside the hull.
+  auto Check = [&](const std::vector<std::int64_t> &P1,
+                   const std::vector<std::int64_t> &P2) {
+    if ((P1[0] + P2[0]) % 2 == 0 && (P1[1] + P2[1]) % 2 == 0) {
+      EXPECT_TRUE(H.contains({(P1[0] + P2[0]) / 2, (P1[1] + P2[1]) / 2}));
+    }
+  };
+  for (size_t I = 0; I < PA.size(); I += 7)
+    for (size_t J = 0; J < PB.size(); J += 7)
+      Check(PA[I], PB[J]);
+}
+
+TEST_P(PolyProperty, IntersectionIsContainedInBoth) {
+  SplitMixRng Rng(GetParam() * 31337 + 6);
+  Polyhedron A = randomPolytope(Rng);
+  Polyhedron B = randomPolytope(Rng);
+  Polyhedron I = Polyhedron::intersect(A, B);
+  for (const auto &Pt : I.enumerateIntegerPoints()) {
+    EXPECT_TRUE(A.contains(Pt));
+    EXPECT_TRUE(B.contains(Pt));
+  }
+}
+
+TEST_P(PolyProperty, EmptinessAgreesWithEnumeration) {
+  SplitMixRng Rng(GetParam() * 31337 + 7);
+  Polyhedron P = randomPolytope(Rng);
+  // Cut with a random (possibly infeasible) constraint.
+  std::int64_t A = static_cast<std::int64_t>(Rng.nextBelow(7)) - 3;
+  std::int64_t B = static_cast<std::int64_t>(Rng.nextBelow(7)) - 3;
+  std::int64_t C = static_cast<std::int64_t>(Rng.nextBelow(30)) - 20;
+  P.addInequality({A, B}, C);
+  bool AnyPoint = !P.enumerateIntegerPoints().empty();
+  if (P.isEmpty()) {
+    EXPECT_FALSE(AnyPoint) << "isEmpty() claimed empty but points exist";
+  }
+  // (The converse may differ: rational feasibility admits sets with no
+  // integer points; enumeration is the integer ground truth.)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyProperty, ::testing::Range(0u, 20u));
+
+} // namespace

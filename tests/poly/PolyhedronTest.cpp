@@ -1,0 +1,162 @@
+//===- tests/poly/PolyhedronTest.cpp - Polyhedron unit tests --------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Polyhedron.h"
+
+#include <gtest/gtest.h>
+
+using namespace dae::poly;
+
+namespace {
+
+/// 0 <= x < N as a 1-D box with numeric N.
+Polyhedron box1D(std::int64_t Lo, std::int64_t Hi) {
+  Polyhedron P(1);
+  P.addLowerBound(0, Lo);
+  P.addUpperBound(0, Hi);
+  return P;
+}
+
+TEST(PolyhedronTest, EmptyAndNonEmpty) {
+  Polyhedron P = box1D(0, 9);
+  EXPECT_FALSE(P.isEmpty());
+  P.addUpperBound(0, -1); // x <= -1 contradicts x >= 0.
+  EXPECT_TRUE(P.isEmpty());
+}
+
+TEST(PolyhedronTest, CountInterval) {
+  EXPECT_EQ(box1D(0, 9).countIntegerPoints().value(), 10);
+  EXPECT_EQ(box1D(5, 5).countIntegerPoints().value(), 1);
+  EXPECT_EQ(box1D(7, 3).countIntegerPoints().value(), 0);
+}
+
+TEST(PolyhedronTest, CountRectangle) {
+  Polyhedron P(2);
+  P.addLowerBound(0, 0);
+  P.addUpperBound(0, 3); // 4 values.
+  P.addLowerBound(1, 2);
+  P.addUpperBound(1, 6); // 5 values.
+  EXPECT_EQ(P.countIntegerPoints().value(), 20);
+}
+
+TEST(PolyhedronTest, CountTriangle) {
+  // 0 <= i <= 9, 0 <= j <= i: 10+9+...+1 = 55.
+  Polyhedron P(2);
+  P.addLowerBound(0, 0);
+  P.addUpperBound(0, 9);
+  P.addLowerBound(1, 0);
+  P.addInequality({1, -1}, 0); // i - j >= 0.
+  EXPECT_EQ(P.countIntegerPoints().value(), 55);
+}
+
+TEST(PolyhedronTest, CountRespectsLimit) {
+  EXPECT_FALSE(box1D(0, 1000).countIntegerPoints(/*Limit=*/100).has_value());
+}
+
+TEST(PolyhedronTest, UnboundedCountFails) {
+  Polyhedron P(1);
+  P.addLowerBound(0, 0); // No upper bound.
+  EXPECT_FALSE(P.countIntegerPoints().has_value());
+}
+
+TEST(PolyhedronTest, EliminateProjectsShadow) {
+  // Triangle 0 <= j <= i <= 9 projected onto j gives 0 <= j <= 9.
+  Polyhedron P(2);
+  P.addLowerBound(0, 0);
+  P.addUpperBound(0, 9);
+  P.addLowerBound(1, 0);
+  P.addInequality({1, -1}, 0);
+  Polyhedron Q = P.eliminate(0);
+  auto B = Q.integerBounds(1);
+  EXPECT_EQ(B.Lo.value(), 0);
+  EXPECT_EQ(B.Hi.value(), 9);
+}
+
+TEST(PolyhedronTest, InstantiateSubstitutes) {
+  // Triangle with i fixed to 4: j in [0, 4].
+  Polyhedron P(2);
+  P.addLowerBound(0, 0);
+  P.addUpperBound(0, 9);
+  P.addLowerBound(1, 0);
+  P.addInequality({1, -1}, 0);
+  Polyhedron Q = P.instantiate(0, 4);
+  EXPECT_EQ(Q.countIntegerPoints().value(), 5);
+}
+
+TEST(PolyhedronTest, IntegerTighteningOnAdd) {
+  // 2x - 1 >= 0 tightens to x >= 1 over the integers.
+  Polyhedron P(1);
+  P.addInequality({2}, -1);
+  auto B = P.integerBounds(0);
+  EXPECT_EQ(B.Lo.value(), 1);
+}
+
+TEST(PolyhedronTest, RedundancyRemoval) {
+  Polyhedron P = box1D(0, 9);
+  P.addUpperBound(0, 100); // Redundant.
+  P.addLowerBound(0, -50); // Redundant.
+  Polyhedron Q = P.removeRedundant();
+  EXPECT_EQ(Q.getNumConstraints(), 2u);
+  EXPECT_EQ(Q.countIntegerPoints().value(), 10);
+}
+
+TEST(PolyhedronTest, ContainsChecksAllConstraints) {
+  Polyhedron P(2);
+  P.addLowerBound(0, 0);
+  P.addUpperBound(0, 3);
+  P.addLowerBound(1, 0);
+  P.addInequality({1, -1}, 0);
+  EXPECT_TRUE(P.contains({3, 3}));
+  EXPECT_FALSE(P.contains({2, 3}));
+  EXPECT_FALSE(P.contains({-1, 0}));
+}
+
+TEST(PolyhedronTest, EnumerateMatchesCount) {
+  Polyhedron P(2);
+  P.addLowerBound(0, 0);
+  P.addUpperBound(0, 4);
+  P.addLowerBound(1, 0);
+  P.addInequality({1, -1}, 0);
+  auto Points = P.enumerateIntegerPoints();
+  EXPECT_EQ(static_cast<long long>(Points.size()),
+            P.countIntegerPoints().value());
+  for (const auto &Pt : Points)
+    EXPECT_TRUE(P.contains(Pt));
+}
+
+TEST(PolyhedronTest, IntersectConjoins) {
+  Polyhedron A = box1D(0, 10);
+  Polyhedron B = box1D(5, 20);
+  Polyhedron C = Polyhedron::intersect(A, B);
+  EXPECT_EQ(C.countIntegerPoints().value(), 6); // 5..10
+}
+
+TEST(PolyhedronTest, EqualityConstraint) {
+  Polyhedron P(2);
+  P.addLowerBound(0, 0);
+  P.addUpperBound(0, 9);
+  P.addEquality({1, -1}, 0); // x1 == x0 (diagonal).
+  EXPECT_EQ(P.countIntegerPoints().value(), 10);
+}
+
+/// Parameterized sweep: triangle counts follow n(n+1)/2.
+class TriangleCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriangleCountTest, MatchesClosedForm) {
+  int N = GetParam();
+  Polyhedron P(2);
+  P.addLowerBound(0, 0);
+  P.addUpperBound(0, N - 1);
+  P.addLowerBound(1, 0);
+  P.addInequality({1, -1}, 0);
+  EXPECT_EQ(P.countIntegerPoints().value(),
+            static_cast<long long>(N) * (N + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TriangleCountTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

@@ -1,0 +1,216 @@
+//===- tests/runtime/RuntimeTest.cpp - Runtime & evaluator tests ------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "runtime/Evaluator.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::runtime;
+using namespace dae::sim;
+
+namespace {
+
+/// A module with one streaming task (Dst[i] = Src[i]) and one access fn.
+struct RtFixture {
+  Module M;
+  Function *Exec;
+  Function *Access;
+  MachineConfig Cfg;
+
+  RtFixture() {
+    auto *Src = M.createGlobal("Src", (1 << 16) * 8);
+    auto *Dst = M.createGlobal("Dst", (1 << 16) * 8);
+    Exec = M.createFunction("stream", Type::Void, {Type::Int64, Type::Int64});
+    {
+      IRBuilder B(M, Exec->createBlock("entry"));
+      emitCountedLoop(B, Exec->getArg(0), Exec->getArg(1), B.getInt(1), "i",
+                      [&](IRBuilder &B, Value *I) {
+        Value *V = B.createLoad(Type::Float64, B.createGep1D(Src, I, 8));
+        B.createStore(V, B.createGep1D(Dst, I, 8));
+      });
+      B.createRet();
+    }
+    Access =
+        M.createFunction("stream.acc", Type::Void, {Type::Int64, Type::Int64});
+    {
+      IRBuilder B(M, Access->createBlock("entry"));
+      emitCountedLoop(B, Access->getArg(0), Access->getArg(1), B.getInt(8),
+                      "p", [&](IRBuilder &B, Value *I) {
+                        B.createPrefetch(B.createGep1D(Src, I, 8));
+                      });
+      B.createRet();
+    }
+  }
+
+  std::vector<Task> makeTasks(unsigned NumTasks, unsigned Waves = 1) {
+    std::vector<Task> Tasks;
+    std::int64_t Chunk = (1 << 16) / NumTasks;
+    for (unsigned T = 0; T != NumTasks; ++T)
+      Tasks.push_back({Exec,
+                       Access,
+                       {RuntimeValue::ofInt(T * Chunk),
+                        RuntimeValue::ofInt((T + 1) * Chunk)},
+                       T % Waves});
+    return Tasks;
+  }
+};
+
+TEST(TaskRuntimeTest, RunsEveryTaskOnce) {
+  RtFixture Fx;
+  Memory Mem;
+  Loader L(Fx.M);
+  TaskRuntime RT(Fx.Cfg, Mem, L);
+  RunProfile P = RT.execute(Fx.makeTasks(16));
+  EXPECT_EQ(P.Tasks.size(), 16u);
+  for (const TaskProfile &T : P.Tasks) {
+    EXPECT_TRUE(T.HasAccess);
+    EXPECT_GT(T.Access.Prefetches, 0u);
+    EXPECT_GT(T.Execute.Instructions, 0u);
+  }
+}
+
+TEST(TaskRuntimeTest, BalancesAcrossCores) {
+  RtFixture Fx;
+  Memory Mem;
+  Loader L(Fx.M);
+  TaskRuntime RT(Fx.Cfg, Mem, L);
+  RunProfile P = RT.execute(Fx.makeTasks(32));
+  std::vector<unsigned> PerCore(Fx.Cfg.NumCores, 0);
+  for (const TaskProfile &T : P.Tasks)
+    ++PerCore[T.Core];
+  for (unsigned C = 0; C != Fx.Cfg.NumCores; ++C)
+    EXPECT_GT(PerCore[C], 0u) << "core " << C << " starved";
+}
+
+TEST(TaskRuntimeTest, SkippingAccessRunsCoupled) {
+  RtFixture Fx;
+  Memory Mem;
+  Loader L(Fx.M);
+  TaskRuntime RT(Fx.Cfg, Mem, L);
+  RunProfile P = RT.execute(Fx.makeTasks(8), /*RunAccess=*/false);
+  for (const TaskProfile &T : P.Tasks) {
+    EXPECT_FALSE(T.HasAccess);
+    EXPECT_EQ(T.Access.Instructions, 0u);
+  }
+}
+
+TEST(TaskRuntimeTest, WavesExecuteInOrder) {
+  RtFixture Fx;
+  Memory Mem;
+  Loader L(Fx.M);
+  TaskRuntime RT(Fx.Cfg, Mem, L);
+  RunProfile P = RT.execute(Fx.makeTasks(16, /*Waves=*/4));
+  unsigned LastWave = 0;
+  for (const TaskProfile &T : P.Tasks) {
+    EXPECT_GE(T.Wave, LastWave) << "wave barrier violated";
+    LastWave = T.Wave;
+  }
+}
+
+TEST(EvaluatorTest, LowerFrequencyCostsTimeSavesDynamicEnergy) {
+  RtFixture Fx;
+  Memory Mem;
+  Loader L(Fx.M);
+  TaskRuntime RT(Fx.Cfg, Mem, L);
+  RunProfile P = RT.execute(Fx.makeTasks(8), /*RunAccess=*/false);
+
+  RunReport Fast = evaluateCoupled(P, Fx.Cfg, Fx.Cfg.fmax());
+  RunReport Slow = evaluateCoupled(P, Fx.Cfg, Fx.Cfg.fmin());
+  EXPECT_GT(Slow.TimeSec, Fast.TimeSec);
+  // A pure stream is memory-bound: the slowdown is far less than the
+  // frequency ratio.
+  EXPECT_LT(Slow.TimeSec / Fast.TimeSec, Fx.Cfg.fmax() / Fx.Cfg.fmin());
+}
+
+TEST(EvaluatorTest, TransitionsCostTimeAndCount) {
+  RtFixture Fx;
+  Memory Mem;
+  Loader L(Fx.M);
+  TaskRuntime RT(Fx.Cfg, Mem, L);
+  RunProfile P = RT.execute(Fx.makeTasks(8));
+
+  EvalConfig MinMax;
+  MinMax.Policy = FreqPolicy::Fixed;
+  MinMax.AccessFreqGHz = Fx.Cfg.fmin();
+  MinMax.ExecFreqGHz = Fx.Cfg.fmax();
+
+  MinMax.TransitionNs = 0.0;
+  RunReport NoLatency = evaluate(P, Fx.Cfg, MinMax);
+  MinMax.TransitionNs = 500.0;
+  RunReport WithLatency = evaluate(P, Fx.Cfg, MinMax);
+
+  EXPECT_EQ(NoLatency.NumTransitions, 0u);
+  EXPECT_GT(WithLatency.NumTransitions, 0u);
+  EXPECT_GT(WithLatency.TimeSec, NoLatency.TimeSec);
+  EXPECT_GT(WithLatency.OsiTimeSec, NoLatency.OsiTimeSec);
+}
+
+TEST(EvaluatorTest, SameFrequencyNeverTransitions) {
+  RtFixture Fx;
+  Memory Mem;
+  Loader L(Fx.M);
+  TaskRuntime RT(Fx.Cfg, Mem, L);
+  RunProfile P = RT.execute(Fx.makeTasks(8));
+  EvalConfig E;
+  E.Policy = FreqPolicy::Fixed;
+  E.AccessFreqGHz = 2.4;
+  E.ExecFreqGHz = 2.4;
+  E.TransitionNs = 500.0;
+  RunReport R = evaluate(P, Fx.Cfg, E);
+  // One initial switch from the boot frequency (fmax) at most per core.
+  EXPECT_LE(R.NumTransitions, static_cast<std::size_t>(Fx.Cfg.NumCores));
+}
+
+TEST(EvaluatorTest, OptimalEdpBeatsOrMatchesFixedPolicies) {
+  RtFixture Fx;
+  Memory Mem;
+  Loader L(Fx.M);
+  TaskRuntime RT(Fx.Cfg, Mem, L);
+  RunProfile P = RT.execute(Fx.makeTasks(8));
+
+  EvalConfig Opt;
+  Opt.Policy = FreqPolicy::OptimalEdp;
+  Opt.TransitionNs = 0.0;
+  RunReport OptRep = evaluate(P, Fx.Cfg, Opt);
+
+  for (double FA : Fx.Cfg.FrequenciesGHz)
+    for (double FE : Fx.Cfg.FrequenciesGHz) {
+      EvalConfig E;
+      E.Policy = FreqPolicy::Fixed;
+      E.AccessFreqGHz = FA;
+      E.ExecFreqGHz = FE;
+      E.TransitionNs = 0.0;
+      RunReport Fixed = evaluate(P, Fx.Cfg, E);
+      // Local per-phase optimization is near-optimal for homogeneous tasks:
+      // allow a small tolerance over the best grid point.
+      EXPECT_LE(OptRep.EdpJs, Fixed.EdpJs * 1.02)
+          << "fixed (" << FA << ", " << FE << ") beat OptimalEdp";
+    }
+}
+
+TEST(EvaluatorTest, BreakdownBucketsSumSanely) {
+  RtFixture Fx;
+  Memory Mem;
+  Loader L(Fx.M);
+  TaskRuntime RT(Fx.Cfg, Mem, L);
+  RunProfile P = RT.execute(Fx.makeTasks(8));
+  EvalConfig E;
+  E.Policy = FreqPolicy::Fixed;
+  E.AccessFreqGHz = Fx.Cfg.fmin();
+  E.ExecFreqGHz = Fx.Cfg.fmax();
+  RunReport R = evaluate(P, Fx.Cfg, E);
+  // Core-seconds across buckets equals cores x makespan.
+  double Total = R.AccessTimeSec + R.ExecuteTimeSec + R.OsiTimeSec;
+  EXPECT_NEAR(Total, R.TimeSec * Fx.Cfg.NumCores, R.TimeSec * 0.01);
+  EXPECT_GT(R.AccessTimeSec, 0.0);
+  EXPECT_GT(R.ExecuteTimeSec, 0.0);
+}
+
+} // namespace

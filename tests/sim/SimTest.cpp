@@ -1,0 +1,201 @@
+//===- tests/sim/SimTest.cpp - Simulator unit tests --------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "sim/CacheSim.h"
+#include "sim/Interpreter.h"
+#include "sim/Memory.h"
+#include "sim/PowerModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::sim;
+
+namespace {
+
+TEST(MemoryTest, RoundTripsValues) {
+  Memory Mem;
+  Mem.storeI64(0x1000, -42);
+  EXPECT_EQ(Mem.loadI64(0x1000), -42);
+  Mem.storeF64(0x2000, 3.25);
+  EXPECT_DOUBLE_EQ(Mem.loadF64(0x2000), 3.25);
+  // Untouched memory reads as zero.
+  EXPECT_EQ(Mem.loadI64(0x900000), 0);
+}
+
+TEST(LoaderTest, AssignsDisjointAlignedBases) {
+  Module M;
+  M.createGlobal("a", 100);
+  M.createGlobal("b", 4096);
+  M.createGlobal("c", 8);
+  Loader L(M);
+  std::uint64_t A = L.baseOf("a"), B = L.baseOf("b"), C = L.baseOf("c");
+  EXPECT_EQ(A % 64, 0u);
+  EXPECT_EQ(B % 64, 0u);
+  EXPECT_GE(B, A + 100);
+  EXPECT_GE(C, B + 4096);
+}
+
+TEST(CacheTest, HitsAfterMiss) {
+  Cache C({1024, 2, 64}); // 8 sets x 2 ways.
+  EXPECT_FALSE(C.access(0x0));
+  EXPECT_TRUE(C.access(0x0));
+  EXPECT_TRUE(C.access(0x38)); // Same line.
+  EXPECT_FALSE(C.access(0x40)); // Next line.
+  EXPECT_EQ(C.misses(), 2u);
+  EXPECT_EQ(C.hits(), 2u);
+}
+
+TEST(CacheTest, LruEviction) {
+  Cache C({128, 2, 64}); // 1 set, 2 ways.
+  C.access(0x000);        // Line A.
+  C.access(0x040);        // Line B.
+  C.access(0x000);        // Touch A (B becomes LRU).
+  C.access(0x080);        // Line C evicts B.
+  EXPECT_TRUE(C.probe(0x000));
+  EXPECT_FALSE(C.probe(0x040));
+  EXPECT_TRUE(C.probe(0x080));
+}
+
+TEST(CacheHierarchyTest, FillsAllLevelsAndIsolatesCores) {
+  MachineConfig Cfg;
+  Cfg.HwNextLinePrefetch = false;
+  CacheHierarchy H(Cfg, 2);
+  EXPECT_EQ(H.access(0, 0x1000), HitLevel::Memory);
+  EXPECT_EQ(H.access(0, 0x1000), HitLevel::L1);
+  // Core 1's private caches are cold, but the shared LLC has the line.
+  EXPECT_EQ(H.access(1, 0x1000), HitLevel::LLC);
+  EXPECT_EQ(H.access(1, 0x1000), HitLevel::L1);
+}
+
+TEST(CacheHierarchyTest, NextLinePrefetcherCoversStreams) {
+  MachineConfig Cfg;
+  Cfg.HwNextLinePrefetch = true;
+  CacheHierarchy H(Cfg, 1);
+  EXPECT_EQ(H.access(0, 0x0), HitLevel::Memory);
+  // The hardware prefetcher pulled line 0x40 into L2.
+  EXPECT_EQ(H.access(0, 0x40), HitLevel::L2);
+}
+
+TEST(PowerModelTest, MatchesPaperFormula) {
+  MachineConfig Cfg;
+  PowerModel PM(Cfg);
+  // Pdyn = (0.19*IPC + 1.64) * f * V^2 — check at IPC=1, f=3.4.
+  double V = Cfg.voltageAt(3.4);
+  EXPECT_NEAR(PM.dynamicPower(3.4, 1.0), (0.19 + 1.64) * 3.4 * V * V, 1e-9);
+  // Dynamic power grows with both frequency and IPC.
+  EXPECT_GT(PM.dynamicPower(3.4, 2.0), PM.dynamicPower(3.4, 1.0));
+  EXPECT_GT(PM.dynamicPower(3.4, 1.0), PM.dynamicPower(1.6, 1.0));
+  EXPECT_GT(PM.staticPowerPerCore(3.4), PM.staticPowerPerCore(1.6));
+  EXPECT_LT(PM.sleepPowerPerCore(), PM.staticPowerPerCore(1.6));
+}
+
+TEST(PhaseStatsTest, FrequencyDecomposition) {
+  PhaseStats S;
+  S.Instructions = 1000;
+  S.ComputeCycles = 3400.0;
+  S.StallNs = 500.0;
+  // At 3.4 GHz: 1000 ns compute + 500 ns stall.
+  EXPECT_NEAR(S.timeNs(3.4), 1500.0, 1e-9);
+  // At 1.7 GHz compute doubles, stall unchanged.
+  EXPECT_NEAR(S.timeNs(1.7), 2500.0, 1e-9);
+  // IPC shrinks as stalls dominate at high frequency less... at fixed
+  // composition IPC at 3.4 GHz = 1000 / (1500 * 3.4).
+  EXPECT_NEAR(S.ipc(3.4), 1000.0 / (1500.0 * 3.4), 1e-9);
+}
+
+/// Interpreter fixture: sum = Src[0..n) accumulated into Dst[0].
+struct InterpFixture {
+  Module M;
+  Function *F;
+  MachineConfig Cfg;
+  Memory Mem;
+
+  InterpFixture() {
+    auto *Src = M.createGlobal("Src", 1024 * 8);
+    auto *Dst = M.createGlobal("Dst", 8);
+    F = M.createFunction("sum", Type::Void, {Type::Int64});
+    IRBuilder B(M, F->createBlock("entry"));
+    emitCountedLoop(B, B.getInt(0), F->getArg(0), B.getInt(1), "i",
+                    [&](IRBuilder &B, Value *I) {
+      Value *V = B.createLoad(Type::Float64, B.createGep1D(Src, I, 8));
+      Value *DstPtr = B.createGep1D(Dst, B.getInt(0), 8);
+      B.createStore(B.createFAdd(B.createLoad(Type::Float64, DstPtr), V),
+                    DstPtr);
+    });
+    B.createRet();
+  }
+};
+
+TEST(InterpreterTest, ComputesCorrectResult) {
+  InterpFixture Fx;
+  Loader L(Fx.M);
+  for (int I = 0; I != 100; ++I)
+    Fx.Mem.storeF64(L.baseOf("Src") + static_cast<std::uint64_t>(I) * 8,
+                    static_cast<double>(I));
+  CacheHierarchy Caches(Fx.Cfg, 1);
+  Interpreter Interp(Fx.Cfg, Fx.Mem, Caches, L);
+  PhaseStats S = Interp.run(*Fx.F, 0, {RuntimeValue::ofInt(100)});
+  EXPECT_DOUBLE_EQ(Fx.Mem.loadF64(L.baseOf("Dst")), 99.0 * 100.0 / 2.0);
+  EXPECT_GT(S.Instructions, 500u); // ~8 instructions x 100 iterations.
+  EXPECT_EQ(S.Loads, 200u);
+  EXPECT_EQ(S.Stores, 100u);
+}
+
+TEST(InterpreterTest, ColdMissesProduceStalls) {
+  InterpFixture Fx;
+  Loader L(Fx.M);
+  CacheHierarchy Caches(Fx.Cfg, 1);
+  Interpreter Interp(Fx.Cfg, Fx.Mem, Caches, L);
+  PhaseStats Cold = Interp.run(*Fx.F, 0, {RuntimeValue::ofInt(1024)});
+  EXPECT_GT(Cold.MemAccesses, 0u);
+  EXPECT_GT(Cold.StallNs, 0.0);
+  // A second pass over the same (small) data is cache-warm.
+  PhaseStats Warm = Interp.run(*Fx.F, 0, {RuntimeValue::ofInt(1024)});
+  EXPECT_LT(Warm.StallNs, Cold.StallNs);
+  EXPECT_GT(Warm.L1Hits, Cold.L1Hits);
+}
+
+TEST(InterpreterTest, PrefetchWarmsWithoutSideEffects) {
+  Module M;
+  auto *Src = M.createGlobal("Src", 4096 * 8);
+  auto *Dst = M.createGlobal("Dst", 8);
+  Function *Pf = M.createFunction("pf", Type::Void, {Type::Int64});
+  {
+    IRBuilder B(M, Pf->createBlock("entry"));
+    B.createPrefetch(B.createGep1D(Dst, B.getInt(0), 8));
+    emitCountedLoop(B, B.getInt(0), Pf->getArg(0), B.getInt(1), "i",
+                    [&](IRBuilder &B, Value *I) {
+                      B.createPrefetch(B.createGep1D(Src, I, 8));
+                    });
+    B.createRet();
+  }
+  Function *Rd = M.createFunction("rd", Type::Void, {Type::Int64});
+  {
+    IRBuilder B(M, Rd->createBlock("entry"));
+    emitCountedLoop(B, B.getInt(0), Rd->getArg(0), B.getInt(1), "i",
+                    [&](IRBuilder &B, Value *I) {
+      Value *V = B.createLoad(Type::Float64, B.createGep1D(Src, I, 8));
+      B.createStore(V, B.createGep1D(Dst, B.getInt(0), 8));
+    });
+    B.createRet();
+  }
+  MachineConfig Cfg;
+  Memory Mem;
+  Loader L(M);
+  CacheHierarchy Caches(Cfg, 1);
+  Interpreter Interp(Cfg, Mem, Caches, L);
+  std::int64_t N = 1024; // 8 KiB: fits L1.
+  PhaseStats Access = Interp.run(*Pf, 0, {RuntimeValue::ofInt(N)});
+  PhaseStats Exec = Interp.run(*Rd, 0, {RuntimeValue::ofInt(N)});
+  EXPECT_EQ(Access.Prefetches, static_cast<std::uint64_t>(N) + 1);
+  EXPECT_EQ(Exec.MemAccesses, 0u) << "prefetched data must hit";
+  EXPECT_EQ(Exec.StallNs, 0.0);
+}
+
+} // namespace
