@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_affine.dir/ablation_affine.cpp.o"
+  "CMakeFiles/ablation_affine.dir/ablation_affine.cpp.o.d"
+  "ablation_affine"
+  "ablation_affine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skeleton.dir/ablation_skeleton.cpp.o"
+  "CMakeFiles/ablation_skeleton.dir/ablation_skeleton.cpp.o.d"
+  "ablation_skeleton"
+  "ablation_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dae_vs_cae.dir/fig3_dae_vs_cae.cpp.o"
+  "CMakeFiles/fig3_dae_vs_cae.dir/fig3_dae_vs_cae.cpp.o.d"
+  "fig3_dae_vs_cae"
+  "fig3_dae_vs_cae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dae_vs_cae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_dae_vs_cae.
+# This may be replaced when dependencies are built.

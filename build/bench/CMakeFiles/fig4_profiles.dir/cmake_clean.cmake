@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_profiles.dir/fig4_profiles.cpp.o"
+  "CMakeFiles/fig4_profiles.dir/fig4_profiles.cpp.o.d"
+  "fig4_profiles"
+  "fig4_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

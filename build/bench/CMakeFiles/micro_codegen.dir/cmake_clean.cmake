@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_codegen.dir/micro_codegen.cpp.o"
+  "CMakeFiles/micro_codegen.dir/micro_codegen.cpp.o.d"
+  "micro_codegen"
+  "micro_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

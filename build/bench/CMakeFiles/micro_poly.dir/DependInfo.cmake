@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_poly.cpp" "bench/CMakeFiles/micro_poly.dir/micro_poly.cpp.o" "gcc" "bench/CMakeFiles/micro_poly.dir/micro_poly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/daecc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/daecc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dae/CMakeFiles/daecc_dae.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/daecc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daecc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/daecc_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/daecc_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/daecc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/daecc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daecc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_poly.dir/micro_poly.cpp.o"
+  "CMakeFiles/micro_poly.dir/micro_poly.cpp.o.d"
+  "micro_poly"
+  "micro_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affine_lu.dir/affine_lu.cpp.o"
+  "CMakeFiles/affine_lu.dir/affine_lu.cpp.o.d"
+  "affine_lu"
+  "affine_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affine_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_cg.dir/sparse_cg.cpp.o"
+  "CMakeFiles/sparse_cg.dir/sparse_cg.cpp.o.d"
+  "sparse_cg"
+  "sparse_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/daecc_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/daecc_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/daecc_analysis.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/daecc_analysis.dir/ScalarEvolution.cpp.o"
+  "CMakeFiles/daecc_analysis.dir/ScalarEvolution.cpp.o.d"
+  "CMakeFiles/daecc_analysis.dir/TaskAnalysis.cpp.o"
+  "CMakeFiles/daecc_analysis.dir/TaskAnalysis.cpp.o.d"
+  "libdaecc_analysis.a"
+  "libdaecc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

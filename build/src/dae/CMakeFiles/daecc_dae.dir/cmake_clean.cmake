@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_dae.dir/AccessGenerator.cpp.o"
+  "CMakeFiles/daecc_dae.dir/AccessGenerator.cpp.o.d"
+  "CMakeFiles/daecc_dae.dir/AffineGenerator.cpp.o"
+  "CMakeFiles/daecc_dae.dir/AffineGenerator.cpp.o.d"
+  "CMakeFiles/daecc_dae.dir/SkeletonGenerator.cpp.o"
+  "CMakeFiles/daecc_dae.dir/SkeletonGenerator.cpp.o.d"
+  "libdaecc_dae.a"
+  "libdaecc_dae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_dae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

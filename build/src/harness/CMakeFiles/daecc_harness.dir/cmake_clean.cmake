@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_harness.dir/Harness.cpp.o"
+  "CMakeFiles/daecc_harness.dir/Harness.cpp.o.d"
+  "libdaecc_harness.a"
+  "libdaecc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

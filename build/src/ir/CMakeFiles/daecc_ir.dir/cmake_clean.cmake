@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_ir.dir/Cloner.cpp.o"
+  "CMakeFiles/daecc_ir.dir/Cloner.cpp.o.d"
+  "CMakeFiles/daecc_ir.dir/IR.cpp.o"
+  "CMakeFiles/daecc_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/daecc_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/daecc_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/daecc_ir.dir/Printer.cpp.o"
+  "CMakeFiles/daecc_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/daecc_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/daecc_ir.dir/Verifier.cpp.o.d"
+  "libdaecc_ir.a"
+  "libdaecc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

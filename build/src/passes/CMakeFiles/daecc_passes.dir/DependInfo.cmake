@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/ConstantFolding.cpp" "src/passes/CMakeFiles/daecc_passes.dir/ConstantFolding.cpp.o" "gcc" "src/passes/CMakeFiles/daecc_passes.dir/ConstantFolding.cpp.o.d"
+  "/root/repo/src/passes/DCE.cpp" "src/passes/CMakeFiles/daecc_passes.dir/DCE.cpp.o" "gcc" "src/passes/CMakeFiles/daecc_passes.dir/DCE.cpp.o.d"
+  "/root/repo/src/passes/Inliner.cpp" "src/passes/CMakeFiles/daecc_passes.dir/Inliner.cpp.o" "gcc" "src/passes/CMakeFiles/daecc_passes.dir/Inliner.cpp.o.d"
+  "/root/repo/src/passes/LoopDeletion.cpp" "src/passes/CMakeFiles/daecc_passes.dir/LoopDeletion.cpp.o" "gcc" "src/passes/CMakeFiles/daecc_passes.dir/LoopDeletion.cpp.o.d"
+  "/root/repo/src/passes/SimplifyCFG.cpp" "src/passes/CMakeFiles/daecc_passes.dir/SimplifyCFG.cpp.o" "gcc" "src/passes/CMakeFiles/daecc_passes.dir/SimplifyCFG.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/daecc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/daecc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daecc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

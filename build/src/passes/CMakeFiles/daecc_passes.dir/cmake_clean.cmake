@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_passes.dir/ConstantFolding.cpp.o"
+  "CMakeFiles/daecc_passes.dir/ConstantFolding.cpp.o.d"
+  "CMakeFiles/daecc_passes.dir/DCE.cpp.o"
+  "CMakeFiles/daecc_passes.dir/DCE.cpp.o.d"
+  "CMakeFiles/daecc_passes.dir/Inliner.cpp.o"
+  "CMakeFiles/daecc_passes.dir/Inliner.cpp.o.d"
+  "CMakeFiles/daecc_passes.dir/LoopDeletion.cpp.o"
+  "CMakeFiles/daecc_passes.dir/LoopDeletion.cpp.o.d"
+  "CMakeFiles/daecc_passes.dir/SimplifyCFG.cpp.o"
+  "CMakeFiles/daecc_passes.dir/SimplifyCFG.cpp.o.d"
+  "libdaecc_passes.a"
+  "libdaecc_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

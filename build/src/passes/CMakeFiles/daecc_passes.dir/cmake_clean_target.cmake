@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdaecc_passes.a"
+)

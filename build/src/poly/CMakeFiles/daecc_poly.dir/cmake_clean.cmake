@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_poly.dir/ConvexHull.cpp.o"
+  "CMakeFiles/daecc_poly.dir/ConvexHull.cpp.o.d"
+  "CMakeFiles/daecc_poly.dir/Ehrhart.cpp.o"
+  "CMakeFiles/daecc_poly.dir/Ehrhart.cpp.o.d"
+  "CMakeFiles/daecc_poly.dir/Polyhedron.cpp.o"
+  "CMakeFiles/daecc_poly.dir/Polyhedron.cpp.o.d"
+  "libdaecc_poly.a"
+  "libdaecc_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

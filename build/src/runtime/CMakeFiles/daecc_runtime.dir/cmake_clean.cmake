@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_runtime.dir/Evaluator.cpp.o"
+  "CMakeFiles/daecc_runtime.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/daecc_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/daecc_runtime.dir/Runtime.cpp.o.d"
+  "libdaecc_runtime.a"
+  "libdaecc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

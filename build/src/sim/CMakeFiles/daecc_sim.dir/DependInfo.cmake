@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/CacheSim.cpp" "src/sim/CMakeFiles/daecc_sim.dir/CacheSim.cpp.o" "gcc" "src/sim/CMakeFiles/daecc_sim.dir/CacheSim.cpp.o.d"
+  "/root/repo/src/sim/Interpreter.cpp" "src/sim/CMakeFiles/daecc_sim.dir/Interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/daecc_sim.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/sim/Memory.cpp" "src/sim/CMakeFiles/daecc_sim.dir/Memory.cpp.o" "gcc" "src/sim/CMakeFiles/daecc_sim.dir/Memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/daecc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/daecc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_sim.dir/CacheSim.cpp.o"
+  "CMakeFiles/daecc_sim.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/daecc_sim.dir/Interpreter.cpp.o"
+  "CMakeFiles/daecc_sim.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/daecc_sim.dir/Memory.cpp.o"
+  "CMakeFiles/daecc_sim.dir/Memory.cpp.o.d"
+  "libdaecc_sim.a"
+  "libdaecc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_support.dir/Format.cpp.o"
+  "CMakeFiles/daecc_support.dir/Format.cpp.o.d"
+  "CMakeFiles/daecc_support.dir/Rational.cpp.o"
+  "CMakeFiles/daecc_support.dir/Rational.cpp.o.d"
+  "libdaecc_support.a"
+  "libdaecc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daecc_workloads.dir/Cg.cpp.o"
+  "CMakeFiles/daecc_workloads.dir/Cg.cpp.o.d"
+  "CMakeFiles/daecc_workloads.dir/Cholesky.cpp.o"
+  "CMakeFiles/daecc_workloads.dir/Cholesky.cpp.o.d"
+  "CMakeFiles/daecc_workloads.dir/Cigar.cpp.o"
+  "CMakeFiles/daecc_workloads.dir/Cigar.cpp.o.d"
+  "CMakeFiles/daecc_workloads.dir/Fft.cpp.o"
+  "CMakeFiles/daecc_workloads.dir/Fft.cpp.o.d"
+  "CMakeFiles/daecc_workloads.dir/Lbm.cpp.o"
+  "CMakeFiles/daecc_workloads.dir/Lbm.cpp.o.d"
+  "CMakeFiles/daecc_workloads.dir/LibQuantum.cpp.o"
+  "CMakeFiles/daecc_workloads.dir/LibQuantum.cpp.o.d"
+  "CMakeFiles/daecc_workloads.dir/Lu.cpp.o"
+  "CMakeFiles/daecc_workloads.dir/Lu.cpp.o.d"
+  "CMakeFiles/daecc_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/daecc_workloads.dir/Registry.cpp.o.d"
+  "libdaecc_workloads.a"
+  "libdaecc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daecc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

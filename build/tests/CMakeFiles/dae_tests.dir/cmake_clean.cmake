@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dae_tests.dir/dae/AffineGeneratorTest.cpp.o"
+  "CMakeFiles/dae_tests.dir/dae/AffineGeneratorTest.cpp.o.d"
+  "CMakeFiles/dae_tests.dir/dae/GeneratorFuzzTest.cpp.o"
+  "CMakeFiles/dae_tests.dir/dae/GeneratorFuzzTest.cpp.o.d"
+  "CMakeFiles/dae_tests.dir/dae/SkeletonGeneratorTest.cpp.o"
+  "CMakeFiles/dae_tests.dir/dae/SkeletonGeneratorTest.cpp.o.d"
+  "dae_tests"
+  "dae_tests.pdb"
+  "dae_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dae_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passes_tests.dir/passes/PassesTest.cpp.o"
+  "CMakeFiles/passes_tests.dir/passes/PassesTest.cpp.o.d"
+  "passes_tests"
+  "passes_tests.pdb"
+  "passes_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passes_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

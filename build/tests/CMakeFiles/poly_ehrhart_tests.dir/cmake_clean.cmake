@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_ehrhart_tests.dir/poly/EhrhartTest.cpp.o"
+  "CMakeFiles/poly_ehrhart_tests.dir/poly/EhrhartTest.cpp.o.d"
+  "poly_ehrhart_tests"
+  "poly_ehrhart_tests.pdb"
+  "poly_ehrhart_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_ehrhart_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

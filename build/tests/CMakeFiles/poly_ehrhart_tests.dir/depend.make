@@ -1,0 +1,2 @@
+# Empty dependencies file for poly_ehrhart_tests.
+# This may be replaced when dependencies are built.
