@@ -6,16 +6,23 @@
 ///
 /// \file
 /// Small shared helpers for the table/figure regeneration binaries: scale
-/// selection via argv/env and consistent row printing.
+/// and host-thread selection via argv/env, consistent row printing, and
+/// host wall-clock throughput reporting into BENCH_<name>.json (simulated
+/// instructions per second — the metric that shows the --sim-threads
+/// speedup on multi-core hosts, since simulated results are bit-identical
+/// by construction).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAECC_BENCH_BENCHUTIL_H
 #define DAECC_BENCH_BENCHUTIL_H
 
+#include "runtime/Task.h"
 #include "workloads/Workload.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -34,11 +41,82 @@ inline workloads::Scale scaleFromArgs(int Argc, char **Argv) {
   return workloads::Scale::Full;
 }
 
+/// Host worker threads for the simulation engine: `--sim-threads=N` (or
+/// DAECC_SIM_THREADS=N). Defaults to 1, the sequential reference; any value
+/// produces bit-identical simulated results.
+inline unsigned simThreadsFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--sim-threads=", 14) == 0) {
+      long N = std::strtol(Argv[I] + 14, nullptr, 10);
+      return N > 0 ? static_cast<unsigned>(N) : 1u;
+    }
+  if (const char *Env = std::getenv("DAECC_SIM_THREADS")) {
+    long N = std::strtol(Env, nullptr, 10);
+    return N > 0 ? static_cast<unsigned>(N) : 1u;
+  }
+  return 1u;
+}
+
 inline void printRule(int Width = 78) {
   for (int I = 0; I != Width; ++I)
     std::putchar('-');
   std::putchar('\n');
 }
+
+/// Simulated instructions retired in \p P (access + execute phases).
+inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
+  std::uint64_t N = 0;
+  for (const runtime::TaskProfile &T : P.Tasks)
+    N += T.Access.Instructions + T.Execute.Instructions;
+  return N;
+}
+
+/// Wall-clocks the simulation section of a bench binary and writes the
+/// throughput to BENCH_<name>.json. Call start() before the simulation loop,
+/// add instructions as profiles arrive, then report() once.
+class ThroughputReporter {
+public:
+  ThroughputReporter(std::string BenchName, unsigned SimThreads)
+      : Name(std::move(BenchName)), SimThreads(SimThreads) {}
+
+  void start() { Start = std::chrono::steady_clock::now(); }
+  void stop() { End = std::chrono::steady_clock::now(); }
+  void add(const runtime::RunProfile &P) { Instructions += simInstructions(P); }
+
+  /// Prints the throughput line and writes BENCH_<name>.json next to the
+  /// binary's working directory.
+  void report() {
+    double Seconds =
+        std::chrono::duration<double>(End - Start).count();
+    double Ips = Seconds > 0.0 ? static_cast<double>(Instructions) / Seconds
+                               : 0.0;
+    std::printf("\n[throughput] %s: %llu simulated instructions in %.3f s "
+                "(%.2f M inst/s, %u host thread%s)\n",
+                Name.c_str(),
+                static_cast<unsigned long long>(Instructions), Seconds,
+                Ips / 1e6, SimThreads, SimThreads == 1 ? "" : "s");
+    std::string Path = "BENCH_" + Name + ".json";
+    if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+      std::fprintf(F,
+                   "{\n"
+                   "  \"bench\": \"%s\",\n"
+                   "  \"sim_threads\": %u,\n"
+                   "  \"wall_seconds\": %.6f,\n"
+                   "  \"sim_instructions\": %llu,\n"
+                   "  \"sim_instructions_per_sec\": %.1f\n"
+                   "}\n",
+                   Name.c_str(), SimThreads, Seconds,
+                   static_cast<unsigned long long>(Instructions), Ips);
+      std::fclose(F);
+    }
+  }
+
+private:
+  std::string Name;
+  unsigned SimThreads;
+  std::uint64_t Instructions = 0;
+  std::chrono::steady_clock::time_point Start, End;
+};
 
 } // namespace bench
 } // namespace dae

@@ -64,17 +64,24 @@ void printPanel(const char *Title, const std::vector<Fig3Row> &Rows,
 int main(int Argc, char **Argv) {
   workloads::Scale S = scaleFromArgs(Argc, Argv);
   sim::MachineConfig Cfg;
+  Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
 
   std::printf("Figure 3: DAE vs regular task execution "
               "(quad-core, 500 ns DVFS transitions)\n");
 
+  ThroughputReporter Throughput("fig3_dae_vs_cae", Cfg.SimThreads);
+  Throughput.start();
   std::vector<AppResult> Results;
   for (auto &W : workloads::buildAll(S)) {
     Results.push_back(runApp(*W, Cfg));
     if (!Results.back().OutputsMatch)
       std::printf("WARNING: %s outputs differ across schemes!\n",
                   Results.back().Name.c_str());
+    Throughput.add(Results.back().Cae);
+    Throughput.add(Results.back().Manual);
+    Throughput.add(Results.back().Auto);
   }
+  Throughput.stop();
 
   for (double Latency : {500.0, 0.0}) {
     std::printf("\n================ transition latency: %.0f ns "
@@ -99,5 +106,6 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\n(paper: 500 ns -> Manual 23%%, Auto 25%%; 0 ns -> Manual "
               "25%%, Auto 29%%)\n");
+  Throughput.report();
   return 0;
 }

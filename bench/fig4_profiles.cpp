@@ -50,14 +50,20 @@ void printSeries(const char *App, const char *SchemeName,
 int main(int Argc, char **Argv) {
   workloads::Scale S = scaleFromArgs(Argc, Argv);
   sim::MachineConfig Cfg;
+  Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
 
   std::printf("Figure 4: per-frequency runtime & energy profiles "
               "(access at fmin; execute swept fmin->fmax; 500 ns "
               "transitions)\n");
 
+  ThroughputReporter Throughput("fig4_profiles", Cfg.SimThreads);
+  Throughput.start();
   for (const char *Name : {"cholesky", "fft", "libq"}) {
     auto W = workloads::buildByName(Name, S);
     AppResult R = runApp(*W, Cfg);
+    Throughput.add(R.Cae);
+    Throughput.add(R.Manual);
+    Throughput.add(R.Auto);
     for (auto [Which, Label] :
          {std::pair{Scheme::Cae, "CAE"}, std::pair{Scheme::Manual,
                                                    "Manual DAE"},
@@ -66,5 +72,7 @@ int main(int Argc, char **Argv) {
       printSeries(R.Name.c_str(), Label, Series);
     }
   }
+  Throughput.stop();
+  Throughput.report();
   return 0;
 }

@@ -206,7 +206,7 @@ harness::profileColdLoads(Workload &W, const MachineConfig &Cfg,
   W.Init(Mem, L);
   CacheHierarchy Caches(Cfg, 1);
   Interpreter Interp(Cfg, Mem, Caches, L);
-  std::map<const ir::Instruction *, LoadSiteStats> Stats;
+  sim::LoadStatsMap Stats;
   Interp.setLoadStats(&Stats);
   for (const Task &T : W.Tasks)
     Interp.run(*T.Execute, 0, T.Args);

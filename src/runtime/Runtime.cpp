@@ -3,20 +3,219 @@
 // Part of daecc. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The host-parallel simulation engine. Each dependency wave runs in two
+// passes that together reproduce the sequential engine's profile exactly:
+//
+//  1. Functional pass — every task of the wave executes (values + recorded
+//     access trace) on a pool of host worker threads, each owning a private
+//     tracing Interpreter. Same-wave tasks are independent by the runtime's
+//     contract, so their memory effects commute and execution order does not
+//     matter.
+//  2. Timing pass — single-threaded. The exact greedy min-time /
+//     steal-from-longest-queue schedule of the original engine picks tasks,
+//     and each chosen task's traces are replayed through the per-core L1/L2
+//     and shared LLC in schedule order. Hit/miss outcomes therefore never
+//     depend on host interleaving: profiles are bit-identical for any
+//     --sim-threads value, including 1.
+//
+//===----------------------------------------------------------------------===//
 
 #include "runtime/Runtime.h"
 
 #include "ir/Function.h"
+#include "sim/AccessTrace.h"
 #include "sim/Interpreter.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
+#include <mutex>
+#include <thread>
 
 using namespace dae;
 using namespace dae::runtime;
 using namespace dae::sim;
+
+namespace {
+
+/// A reusable fork-join pool: run(Count, Fn) hands out indices [0, Count)
+/// to Workers host threads, the caller participating as worker 0. Threads
+/// are spawned once and parked between waves.
+class WorkerPool {
+public:
+  explicit WorkerPool(unsigned Workers) : Workers(std::max(1u, Workers)) {
+    for (unsigned W = 1; W != this->Workers; ++W)
+      Threads.emplace_back([this, W] { workerLoop(W); });
+  }
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Quit = true;
+      ++Generation;
+    }
+    Wake.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  unsigned workers() const { return Workers; }
+
+  /// Runs Fn(Index, Worker) for every Index in [0, Count). Returns when all
+  /// indices have completed. Fn must be safe to call concurrently for
+  /// distinct indices.
+  void run(std::size_t Count,
+           const std::function<void(std::size_t, unsigned)> &Fn) {
+    if (Count == 0)
+      return;
+    if (Workers == 1 || Count == 1) {
+      for (std::size_t I = 0; I != Count; ++I)
+        Fn(I, 0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Job = &Fn;
+      JobCount = Count;
+      Next.store(0, std::memory_order_relaxed);
+      Active = Workers - 1;
+      ++Generation;
+    }
+    Wake.notify_all();
+    drain(Fn, Count, 0);
+    std::unique_lock<std::mutex> Lock(M);
+    Done.wait(Lock, [this] { return Active == 0; });
+    Job = nullptr;
+  }
+
+private:
+  void drain(const std::function<void(std::size_t, unsigned)> &Fn,
+             std::size_t Count, unsigned Worker) {
+    for (;;) {
+      std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Count)
+        return;
+      Fn(I, Worker);
+    }
+  }
+
+  void workerLoop(unsigned Worker) {
+    std::uint64_t SeenGeneration = 0;
+    for (;;) {
+      const std::function<void(std::size_t, unsigned)> *Fn;
+      std::size_t Count;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        Wake.wait(Lock, [&] { return Generation != SeenGeneration; });
+        SeenGeneration = Generation;
+        if (Quit)
+          return;
+        Fn = Job;
+        Count = JobCount;
+      }
+      drain(*Fn, Count, Worker);
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        if (--Active == 0)
+          Done.notify_one();
+      }
+    }
+  }
+
+  unsigned Workers;
+  std::vector<std::thread> Threads;
+  std::mutex M;
+  std::condition_variable Wake, Done;
+  std::uint64_t Generation = 0;
+  bool Quit = false;
+  const std::function<void(std::size_t, unsigned)> *Job = nullptr;
+  std::size_t JobCount = 0;
+  std::atomic<std::size_t> Next{0};
+  unsigned Active = 0;
+};
+
+/// One task's functional-pass output, waiting for its timing replay.
+struct WaveResult {
+  bool HasAccess = false;
+  PhaseStats Access, Execute;
+  AccessTrace AccessTr, ExecTr;
+};
+
+/// Streams a recorded access trace through the hierarchy as \p Core, adding
+/// the cache-dependent statistics to \p S. The per-kind accounting matches
+/// the fused interpreter's inline cost model statement for statement.
+void replayTrace(const AccessTrace &Tr, CacheHierarchy &Caches, unsigned Core,
+                 const MachineConfig &Cfg, PhaseStats &S) {
+  for (std::uint64_t E : Tr.events()) {
+    std::uint64_t Addr = AccessTrace::addrOf(E);
+    HitLevel Level = Caches.access(Core, Addr);
+    switch (AccessTrace::kindOf(E)) {
+    case AccessTrace::Kind::Load:
+      switch (Level) {
+      case HitLevel::L1:
+        ++S.L1Hits;
+        S.ComputeCycles += Cfg.L1HitCycles;
+        break;
+      case HitLevel::L2:
+        ++S.L2Hits;
+        S.ComputeCycles += Cfg.L2HitCycles;
+        break;
+      case HitLevel::LLC:
+        ++S.LLCHits;
+        S.ComputeCycles += Cfg.LLCHitCycles;
+        break;
+      case HitLevel::Memory:
+        ++S.MemAccesses;
+        S.StallNs += Cfg.MemLatencyNs / Cfg.LoadMlp;
+        break;
+      }
+      break;
+    case AccessTrace::Kind::Store:
+      switch (Level) {
+      case HitLevel::L1:
+        ++S.L1Hits;
+        break;
+      case HitLevel::L2:
+        ++S.L2Hits;
+        S.ComputeCycles += Cfg.L2HitCycles * 0.5;
+        break;
+      case HitLevel::LLC:
+        ++S.LLCHits;
+        S.ComputeCycles += Cfg.LLCHitCycles * 0.5;
+        break;
+      case HitLevel::Memory:
+        ++S.MemAccesses;
+        S.StallNs += Cfg.MemLatencyNs / Cfg.StoreMlp;
+        break;
+      }
+      break;
+    case AccessTrace::Kind::Prefetch:
+      switch (Level) {
+      case HitLevel::L1:
+      case HitLevel::L2:
+        break;
+      case HitLevel::LLC:
+        S.StallNs += Cfg.LLCHitCycles / Cfg.fmax() / Cfg.PrefetchMlp;
+        break;
+      case HitLevel::Memory:
+        ++S.MemAccesses;
+        S.StallNs += Cfg.MemLatencyNs / Cfg.PrefetchMlp;
+        break;
+      }
+      break;
+    }
+  }
+}
+
+} // namespace
 
 TaskRuntime::TaskRuntime(const MachineConfig &Cfg, Memory &Mem,
                          const sim::Loader &L)
@@ -26,7 +225,22 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
                                 bool RunAccess) {
   const unsigned NumCores = Cfg.NumCores;
   CacheHierarchy Caches(Cfg, NumCores);
-  Interpreter Interp(Cfg, Mem, Caches, Loader);
+
+  // Compile every task function (and transitive callees) up front; the
+  // program is read-only from here on and shared by all workers.
+  CompiledProgram Program(Cfg, Loader);
+  for (const Task &T : Tasks) {
+    Program.add(*T.Execute);
+    if (T.Access)
+      Program.add(*T.Access);
+  }
+
+  WorkerPool Pool(Cfg.SimThreads);
+  std::vector<std::unique_ptr<Interpreter>> Interps;
+  Interps.reserve(Pool.workers());
+  for (unsigned W = 0; W != Pool.workers(); ++W)
+    Interps.push_back(
+        std::make_unique<Interpreter>(Cfg, Mem, Loader, &Program));
 
   RunProfile Profile;
   Profile.NumCores = NumCores;
@@ -38,13 +252,30 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
     Waves[T.Wave].push_back(&T);
 
   std::vector<double> CoreTimeNs(NumCores, 0.0);
+  std::vector<WaveResult> Results;
   for (auto &[WaveId, WaveTasks] : Waves) {
-    // Round-robin seeding (owner pops front, thieves steal from the back).
-    std::vector<std::deque<const Task *>> Queues(NumCores);
-    for (size_t I = 0; I != WaveTasks.size(); ++I)
-      Queues[I % NumCores].push_back(WaveTasks[I]);
+    // Functional pass: compute values and record access traces for every
+    // task of the wave, in parallel across the pool.
+    Results.clear();
+    Results.resize(WaveTasks.size());
+    Pool.run(WaveTasks.size(), [&](std::size_t I, unsigned Worker) {
+      const Task &T = *WaveTasks[I];
+      WaveResult &R = Results[I];
+      Interpreter &Interp = *Interps[Worker];
+      if (RunAccess && T.Access) {
+        R.HasAccess = true;
+        R.Access = Interp.runTraced(*T.Access, T.Args, R.AccessTr);
+      }
+      R.Execute = Interp.runTraced(*T.Execute, T.Args, R.ExecTr);
+    });
 
-    size_t Remaining = WaveTasks.size();
+    // Timing pass: the original greedy schedule, replaying each chosen
+    // task's traces through the caches in schedule order.
+    std::vector<std::deque<std::size_t>> Queues(NumCores);
+    for (std::size_t I = 0; I != WaveTasks.size(); ++I)
+      Queues[I % NumCores].push_back(I);
+
+    std::size_t Remaining = WaveTasks.size();
     while (Remaining > 0) {
       // The core with the smallest simulated time runs next. Ordering uses
       // fmax; the evaluator reprices per policy afterwards.
@@ -53,9 +284,9 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
         if (CoreTimeNs[C] < CoreTimeNs[Core])
           Core = C;
 
-      const Task *T = nullptr;
+      std::size_t Chosen;
       if (!Queues[Core].empty()) {
-        T = Queues[Core].front();
+        Chosen = Queues[Core].front();
         Queues[Core].pop_front();
       } else {
         unsigned Victim = NumCores;
@@ -66,18 +297,24 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
             Victim = C;
         if (Victim == NumCores)
           break;
-        T = Queues[Victim].back();
+        Chosen = Queues[Victim].back();
         Queues[Victim].pop_back();
       }
 
+      WaveResult &R = Results[Chosen];
       TaskProfile TP;
       TP.Core = Core;
       TP.Wave = WaveId;
-      if (RunAccess && T->Access) {
+      if (R.HasAccess) {
         TP.HasAccess = true;
-        TP.Access = Interp.run(*T->Access, Core, T->Args);
+        TP.Access = R.Access;
+        replayTrace(R.AccessTr, Caches, Core, Cfg, TP.Access);
+        R.AccessTr.release();
       }
-      TP.Execute = Interp.run(*T->Execute, Core, T->Args);
+      TP.Execute = R.Execute;
+      replayTrace(R.ExecTr, Caches, Core, Cfg, TP.Execute);
+      R.ExecTr.release();
+
       CoreTimeNs[Core] += TP.Access.timeNs(Cfg.fmax()) +
                           TP.Execute.timeNs(Cfg.fmax()) +
                           Profile.PerTaskOverheadCycles / Cfg.fmax();

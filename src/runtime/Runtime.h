@@ -11,6 +11,12 @@
 /// runs once per scheme; the frequency dimension is priced analytically from
 /// the collected profiles (see sim/PhaseStats.h).
 ///
+/// The engine itself is host-parallel: each wave's functional execution fans
+/// out over MachineConfig::SimThreads worker threads, while cache timing is
+/// replayed single-threaded in schedule order from recorded access traces,
+/// so RunProfiles are bit-identical for every thread count (see DESIGN.md,
+/// "Host-parallel simulation").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAECC_RUNTIME_RUNTIME_H

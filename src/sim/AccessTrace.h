@@ -1,0 +1,64 @@
+//===- sim/AccessTrace.h - Recorded memory access stream --------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ordered stream of memory accesses one phase performed, recorded by the
+/// interpreter's tracing mode and replayed through the cache hierarchy by the
+/// runtime's timing pass. Cache hit/miss outcomes never influence computed
+/// values, only timing statistics — so functional execution (which produces
+/// the trace) can run on any host thread while the cache model consumes the
+/// traces later, sequentially and in schedule order, yielding hit/miss
+/// accounting that is bit-identical for any host thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_SIM_ACCESSTRACE_H
+#define DAECC_SIM_ACCESSTRACE_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace dae {
+namespace sim {
+
+/// One phase's memory accesses, packed one event per 64-bit word: the access
+/// kind in the top two bits, the byte address below. Simulated addresses come
+/// from the Loader (base 0x10000 plus footprints far below 2^62), so the tag
+/// bits are always free.
+class AccessTrace {
+public:
+  enum class Kind : std::uint64_t { Load = 0, Store = 1, Prefetch = 2 };
+
+  static constexpr std::uint64_t AddrMask = (1ull << 62) - 1;
+
+  void push(Kind K, std::uint64_t Addr) {
+    assert((Addr & ~AddrMask) == 0 && "simulated address overflows tag bits");
+    Events.push_back((static_cast<std::uint64_t>(K) << 62) |
+                     (Addr & AddrMask));
+  }
+
+  static Kind kindOf(std::uint64_t Event) {
+    return static_cast<Kind>(Event >> 62);
+  }
+  static std::uint64_t addrOf(std::uint64_t Event) { return Event & AddrMask; }
+
+  const std::vector<std::uint64_t> &events() const { return Events; }
+  bool empty() const { return Events.empty(); }
+  std::size_t size() const { return Events.size(); }
+  void clear() { Events.clear(); }
+  /// Releases the storage (traces are bulky; the runtime frees each one right
+  /// after its replay).
+  void release() { std::vector<std::uint64_t>().swap(Events); }
+
+private:
+  std::vector<std::uint64_t> Events;
+};
+
+} // namespace sim
+} // namespace dae
+
+#endif // DAECC_SIM_ACCESSTRACE_H

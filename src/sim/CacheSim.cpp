@@ -75,36 +75,38 @@ void Cache::flush() {
 }
 
 CacheHierarchy::CacheHierarchy(const MachineConfig &Cfg, unsigned NumCores)
-    : NextLinePrefetch(Cfg.HwNextLinePrefetch), LineBytes(Cfg.L1.LineBytes) {
+    : NextLinePrefetch(Cfg.HwNextLinePrefetch), LineBytes(Cfg.L1.LineBytes),
+      Llc(Cfg.LLC) {
+  L1s.reserve(NumCores);
+  L2s.reserve(NumCores);
   for (unsigned I = 0; I != NumCores; ++I) {
-    L1s.push_back(std::make_unique<Cache>(Cfg.L1));
-    L2s.push_back(std::make_unique<Cache>(Cfg.L2));
+    L1s.emplace_back(Cfg.L1);
+    L2s.emplace_back(Cfg.L2);
   }
-  Llc = std::make_unique<Cache>(Cfg.LLC);
 }
 
 HitLevel CacheHierarchy::access(unsigned Core, std::uint64_t Addr) {
   assert(Core < L1s.size() && "core index out of range");
-  if (L1s[Core]->access(Addr))
+  if (L1s[Core].access(Addr))
     return HitLevel::L1;
-  if (L2s[Core]->access(Addr))
+  if (L2s[Core].access(Addr))
     return HitLevel::L2;
-  if (Llc->access(Addr))
+  if (Llc.access(Addr))
     return HitLevel::LLC;
   if (NextLinePrefetch) {
     // Pull the successor line toward the core so a sequential stream only
     // pays DRAM latency on every other line.
     std::uint64_t NextLine = Addr + LineBytes;
-    L2s[Core]->access(NextLine);
-    Llc->access(NextLine);
+    L2s[Core].access(NextLine);
+    Llc.access(NextLine);
   }
   return HitLevel::Memory;
 }
 
 void CacheHierarchy::flush() {
-  for (auto &C : L1s)
-    C->flush();
-  for (auto &C : L2s)
-    C->flush();
-  Llc->flush();
+  for (Cache &C : L1s)
+    C.flush();
+  for (Cache &C : L2s)
+    C.flush();
+  Llc.flush();
 }

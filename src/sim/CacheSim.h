@@ -10,6 +10,12 @@
 /// whole premise rides on this state: the access phase warms the private
 /// hierarchy so the execute phase becomes compute-bound (section 3.1).
 ///
+/// The hierarchy is only ever advanced by the runtime's single-threaded
+/// timing replay (see AccessTrace.h) so hit/miss outcomes stay deterministic;
+/// each Cache is nonetheless cache-line aligned and stored by value so the
+/// per-core mutable state (the LRU Tick in particular) of different simulated
+/// cores never shares a host cache line.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAECC_SIM_CACHESIM_H
@@ -18,7 +24,6 @@
 #include "sim/MachineConfig.h"
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 namespace dae {
@@ -28,7 +33,7 @@ namespace sim {
 enum class HitLevel { L1, L2, LLC, Memory };
 
 /// One set-associative LRU cache level (tag store only).
-class Cache {
+class alignas(64) Cache {
 public:
   explicit Cache(const CacheConfig &Cfg);
 
@@ -71,15 +76,15 @@ public:
   /// Drops all lines everywhere.
   void flush();
 
-  Cache &l1(unsigned Core) { return *L1s[Core]; }
-  Cache &l2(unsigned Core) { return *L2s[Core]; }
-  Cache &llc() { return *Llc; }
+  Cache &l1(unsigned Core) { return L1s[Core]; }
+  Cache &l2(unsigned Core) { return L2s[Core]; }
+  Cache &llc() { return Llc; }
 
 private:
   bool NextLinePrefetch;
   unsigned LineBytes;
-  std::vector<std::unique_ptr<Cache>> L1s, L2s;
-  std::unique_ptr<Cache> Llc;
+  std::vector<Cache> L1s, L2s;
+  Cache Llc;
 };
 
 } // namespace sim

@@ -11,6 +11,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <map>
 
 using namespace dae;
 using namespace dae::ir;
@@ -43,6 +44,122 @@ double instCycles(const Instruction &I, const MachineConfig &Cfg) {
   }
 }
 
+/// Fully resolved opcode: one flat dispatch per executed instruction instead
+/// of re-deriving kind + sub-opcode + operand types from the IR every time.
+enum class SimOp : std::uint8_t {
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  AShr,
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  CmpEQ,
+  CmpNE,
+  CmpSLT,
+  CmpSLE,
+  CmpSGT,
+  CmpSGE,
+  CmpFLT,
+  CmpFLE,
+  CmpFGT,
+  CmpFGE,
+  CmpFEQ,
+  CmpFNE,
+  Select,
+  SIToFP,
+  FPToSI,
+  PtrCast,
+  Gep,
+  LoadI,
+  LoadF,
+  StoreI,
+  StoreF,
+  Prefetch,
+  Br,
+  CondBr,
+  Ret,
+  Call,
+  Phi, ///< Never dispatched; phis live in CompiledBlock::Phis.
+};
+
+bool isTerminatorOp(SimOp Op) {
+  return Op == SimOp::Br || Op == SimOp::CondBr || Op == SimOp::Ret;
+}
+
+SimOp binSimOp(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return SimOp::Add;
+  case BinOp::Sub:
+    return SimOp::Sub;
+  case BinOp::Mul:
+    return SimOp::Mul;
+  case BinOp::SDiv:
+    return SimOp::SDiv;
+  case BinOp::SRem:
+    return SimOp::SRem;
+  case BinOp::And:
+    return SimOp::And;
+  case BinOp::Or:
+    return SimOp::Or;
+  case BinOp::Xor:
+    return SimOp::Xor;
+  case BinOp::Shl:
+    return SimOp::Shl;
+  case BinOp::AShr:
+    return SimOp::AShr;
+  case BinOp::FAdd:
+    return SimOp::FAdd;
+  case BinOp::FSub:
+    return SimOp::FSub;
+  case BinOp::FMul:
+    return SimOp::FMul;
+  case BinOp::FDiv:
+    return SimOp::FDiv;
+  }
+  assert(false && "unknown binary opcode");
+  return SimOp::Add;
+}
+
+SimOp cmpSimOp(CmpPred P) {
+  switch (P) {
+  case CmpPred::EQ:
+    return SimOp::CmpEQ;
+  case CmpPred::NE:
+    return SimOp::CmpNE;
+  case CmpPred::SLT:
+    return SimOp::CmpSLT;
+  case CmpPred::SLE:
+    return SimOp::CmpSLE;
+  case CmpPred::SGT:
+    return SimOp::CmpSGT;
+  case CmpPred::SGE:
+    return SimOp::CmpSGE;
+  case CmpPred::FLT:
+    return SimOp::CmpFLT;
+  case CmpPred::FLE:
+    return SimOp::CmpFLE;
+  case CmpPred::FGT:
+    return SimOp::CmpFGT;
+  case CmpPred::FGE:
+    return SimOp::CmpFGE;
+  case CmpPred::FEQ:
+    return SimOp::CmpFEQ;
+  case CmpPred::FNE:
+    return SimOp::CmpFNE;
+  }
+  assert(false && "unknown compare predicate");
+  return SimOp::CmpEQ;
+}
+
 /// An operand resolved at compile time: either an immediate or a slot.
 struct OperandRef {
   bool IsImm = false;
@@ -52,12 +169,17 @@ struct OperandRef {
 
 struct CompiledInstr {
   const Instruction *I = nullptr;
+  SimOp Op = SimOp::Phi;
   int DstSlot = -1; ///< -1 for void results.
   double Cycles = 0.0;
   std::vector<OperandRef> Ops;
   // Branch successors / phi incoming block indices.
   int BlockA = -1, BlockB = -1;
   std::vector<unsigned> PhiPredIndex; ///< Parallel to Ops for phis.
+  // Gep payload (address arithmetic fully resolved at compile time).
+  std::int64_t GepElemSize = 0;
+  std::vector<std::int64_t> GepDims;
+  const Function *Callee = nullptr;
 };
 
 struct CompiledBlock {
@@ -119,6 +241,7 @@ public:
         auto SlotIt = Slots.find(I);
         CI.DstSlot = SlotIt == Slots.end() ? -1 : static_cast<int>(SlotIt->second);
         if (const auto *Phi = dyn_cast<PhiInst>(I)) {
+          CI.Op = SimOp::Phi;
           for (unsigned J = 0; J != Phi->getNumIncoming(); ++J) {
             CI.Ops.push_back(MakeOp(Phi->getIncomingValue(J)));
             CI.PhiPredIndex.push_back(
@@ -129,10 +252,69 @@ public:
         }
         for (Value *Op : I->operands())
           CI.Ops.push_back(MakeOp(Op));
-        if (const auto *Br = dyn_cast<BrInst>(I)) {
+
+        switch (I->getKind()) {
+        case ValueKind::InstBinary:
+          CI.Op = binSimOp(cast<BinaryInst>(I)->getOpcode());
+          break;
+        case ValueKind::InstCmp:
+          CI.Op = cmpSimOp(cast<CmpInst>(I)->getPredicate());
+          break;
+        case ValueKind::InstSelect:
+          CI.Op = SimOp::Select;
+          break;
+        case ValueKind::InstCast:
+          switch (cast<CastInst>(I)->getOpcode()) {
+          case CastOp::SIToFP:
+            CI.Op = SimOp::SIToFP;
+            break;
+          case CastOp::FPToSI:
+            CI.Op = SimOp::FPToSI;
+            break;
+          case CastOp::PtrToInt:
+          case CastOp::IntToPtr:
+            CI.Op = SimOp::PtrCast;
+            break;
+          }
+          break;
+        case ValueKind::InstGep: {
+          const auto *Gep = cast<GepInst>(I);
+          CI.Op = SimOp::Gep;
+          CI.GepElemSize = Gep->getElemSize();
+          CI.GepDims = Gep->getDimSizes();
+          break;
+        }
+        case ValueKind::InstLoad:
+          CI.Op = I->getType() == Type::Float64 ? SimOp::LoadF : SimOp::LoadI;
+          break;
+        case ValueKind::InstStore:
+          CI.Op = cast<StoreInst>(I)->getValue()->getType() == Type::Float64
+                      ? SimOp::StoreF
+                      : SimOp::StoreI;
+          break;
+        case ValueKind::InstPrefetch:
+          CI.Op = SimOp::Prefetch;
+          break;
+        case ValueKind::InstBr: {
+          const auto *Br = cast<BrInst>(I);
           CI.BlockA = static_cast<int>(BlockIndex.at(Br->getTrueDest()));
-          if (Br->isConditional())
+          if (Br->isConditional()) {
+            CI.Op = SimOp::CondBr;
             CI.BlockB = static_cast<int>(BlockIndex.at(Br->getFalseDest()));
+          } else {
+            CI.Op = SimOp::Br;
+          }
+          break;
+        }
+        case ValueKind::InstRet:
+          CI.Op = SimOp::Ret;
+          break;
+        case ValueKind::InstCall:
+          CI.Op = SimOp::Call;
+          CI.Callee = cast<CallInst>(I)->getCallee();
+          break;
+        default:
+          assert(false && "unhandled instruction kind in compiler");
         }
         CB.Body.push_back(std::move(CI));
       }
@@ -152,13 +334,50 @@ private:
 } // namespace sim
 } // namespace dae
 
+//===----------------------------------------------------------------------===//
+// CompiledProgram
+//===----------------------------------------------------------------------===//
+
+CompiledProgram::CompiledProgram(const MachineConfig &Cfg, const Loader &L)
+    : Cfg(Cfg), Load(L) {}
+
+CompiledProgram::~CompiledProgram() = default;
+
+void CompiledProgram::add(const Function &F) {
+  if (Fns.count(&F))
+    return;
+  Fns.emplace(&F, std::make_unique<CompiledFunction>(F, Load, Cfg));
+  // Pull in everything reachable through calls so execution never compiles.
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      if (const auto *Call = dyn_cast<CallInst>(I.get()))
+        add(*Call->getCallee());
+}
+
+const CompiledFunction *CompiledProgram::lookup(const Function &F) const {
+  auto It = Fns.find(&F);
+  return It == Fns.end() ? nullptr : It->second.get();
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
 Interpreter::Interpreter(const MachineConfig &Cfg, Memory &Mem,
-                         CacheHierarchy &Caches, const Loader &L)
-    : Cfg(Cfg), Mem(Mem), Caches(Caches), Load(L) {}
+                         CacheHierarchy &Caches, const Loader &L,
+                         const CompiledProgram *Shared)
+    : Cfg(Cfg), View(Mem), Caches(&Caches), Load(L), Shared(Shared) {}
+
+Interpreter::Interpreter(const MachineConfig &Cfg, Memory &Mem,
+                         const Loader &L, const CompiledProgram *Shared)
+    : Cfg(Cfg), View(Mem), Caches(nullptr), Load(L), Shared(Shared) {}
 
 Interpreter::~Interpreter() = default;
 
 const CompiledFunction &Interpreter::getCompiled(const Function &F) {
+  if (Shared)
+    if (const CompiledFunction *CF = Shared->lookup(F))
+      return *CF;
   auto It = Cache.find(&F);
   if (It == Cache.end())
     It = Cache.emplace(&F,
@@ -167,12 +386,104 @@ const CompiledFunction &Interpreter::getCompiled(const Function &F) {
   return *It->second;
 }
 
-PhaseStats Interpreter::run(const Function &F, unsigned Core,
-                            const std::vector<RuntimeValue> &Args,
-                            RuntimeValue *RetOut) {
-  assert(Args.size() == F.getNumArgs() && "argument count mismatch");
-  const CompiledFunction &CF = getCompiled(F);
+namespace {
 
+/// Fused mode: the classic inline cache simulation. Timing statements mirror
+/// the pre-split interpreter exactly.
+struct FusedModel {
+  CacheHierarchy &Caches;
+  const MachineConfig &Cfg;
+  unsigned Core;
+  LoadStatsMap *LoadStats;
+
+  void onLoad(PhaseStats &S, std::uint64_t Addr, const Instruction *I) {
+    LoadSiteStats *Site = nullptr;
+    if (LoadStats) {
+      Site = &(*LoadStats)[I];
+      ++Site->Count;
+    }
+    switch (Caches.access(Core, Addr)) {
+    case HitLevel::L1:
+      ++S.L1Hits;
+      S.ComputeCycles += Cfg.L1HitCycles;
+      break;
+    case HitLevel::L2:
+      ++S.L2Hits;
+      S.ComputeCycles += Cfg.L2HitCycles;
+      break;
+    case HitLevel::LLC:
+      ++S.LLCHits;
+      S.ComputeCycles += Cfg.LLCHitCycles;
+      break;
+    case HitLevel::Memory:
+      ++S.MemAccesses;
+      S.StallNs += Cfg.MemLatencyNs / Cfg.LoadMlp;
+      if (Site)
+        ++Site->Misses;
+      break;
+    }
+  }
+
+  void onStore(PhaseStats &S, std::uint64_t Addr) {
+    switch (Caches.access(Core, Addr)) {
+    case HitLevel::L1:
+      ++S.L1Hits;
+      break;
+    case HitLevel::L2:
+      ++S.L2Hits;
+      S.ComputeCycles += Cfg.L2HitCycles * 0.5;
+      break;
+    case HitLevel::LLC:
+      ++S.LLCHits;
+      S.ComputeCycles += Cfg.LLCHitCycles * 0.5;
+      break;
+    case HitLevel::Memory:
+      ++S.MemAccesses;
+      S.StallNs += Cfg.MemLatencyNs / Cfg.StoreMlp;
+      break;
+    }
+  }
+
+  void onPrefetch(PhaseStats &S, std::uint64_t Addr) {
+    // Non-binding: warms the hierarchy, never stalls retirement, but is
+    // throughput-limited by the outstanding-miss capacity.
+    switch (Caches.access(Core, Addr)) {
+    case HitLevel::L1:
+    case HitLevel::L2:
+      break;
+    case HitLevel::LLC:
+      S.StallNs += Cfg.LLCHitCycles / Cfg.fmax() / Cfg.PrefetchMlp;
+      break;
+    case HitLevel::Memory:
+      ++S.MemAccesses;
+      S.StallNs += Cfg.MemLatencyNs / Cfg.PrefetchMlp;
+      break;
+    }
+  }
+};
+
+/// Tracing mode: record the access stream; the runtime's replay supplies hit
+/// levels and timing later, in schedule order.
+struct TracingModel {
+  AccessTrace &Trace;
+
+  void onLoad(PhaseStats &, std::uint64_t Addr, const Instruction *) {
+    Trace.push(AccessTrace::Kind::Load, Addr);
+  }
+  void onStore(PhaseStats &, std::uint64_t Addr) {
+    Trace.push(AccessTrace::Kind::Store, Addr);
+  }
+  void onPrefetch(PhaseStats &, std::uint64_t Addr) {
+    Trace.push(AccessTrace::Kind::Prefetch, Addr);
+  }
+};
+
+} // namespace
+
+template <typename MemModel>
+PhaseStats Interpreter::interpret(const CompiledFunction &CF,
+                                  const std::vector<RuntimeValue> &Args,
+                                  RuntimeValue *RetOut, MemModel &MM) {
   PhaseStats S;
   std::vector<RuntimeValue> Env(CF.numSlots());
   for (unsigned I = 0; I != Args.size(); ++I)
@@ -211,266 +522,227 @@ PhaseStats Interpreter::run(const Function &F, unsigned Core,
 
     int Next = -1;
     for (const CompiledInstr &CI : CB.Body) {
-      const Instruction *I = CI.I;
       ++S.Instructions;
       S.ComputeCycles += CI.Cycles;
 
-      switch (I->getKind()) {
-      case ValueKind::InstBinary: {
-        const auto *Bin = cast<BinaryInst>(I);
-        const RuntimeValue &L = Get(CI.Ops[0]);
-        const RuntimeValue &R = Get(CI.Ops[1]);
-        RuntimeValue Out;
-        switch (Bin->getOpcode()) {
-        case BinOp::Add:
-          Out.I = L.I + R.I;
-          break;
-        case BinOp::Sub:
-          Out.I = L.I - R.I;
-          break;
-        case BinOp::Mul:
-          Out.I = L.I * R.I;
-          break;
-        case BinOp::SDiv:
-          Out.I = R.I != 0 ? L.I / R.I : 0;
-          break;
-        case BinOp::SRem:
-          Out.I = R.I != 0 ? L.I % R.I : 0;
-          break;
-        case BinOp::And:
-          Out.I = L.I & R.I;
-          break;
-        case BinOp::Or:
-          Out.I = L.I | R.I;
-          break;
-        case BinOp::Xor:
-          Out.I = L.I ^ R.I;
-          break;
-        case BinOp::Shl:
-          Out.I = static_cast<std::int64_t>(
-              static_cast<std::uint64_t>(L.I)
-              << (static_cast<std::uint64_t>(R.I) & 63));
-          break;
-        case BinOp::AShr:
-          Out.I = L.I >> (static_cast<std::uint64_t>(R.I) & 63);
-          break;
-        case BinOp::FAdd:
-          Out.D = L.D + R.D;
-          break;
-        case BinOp::FSub:
-          Out.D = L.D - R.D;
-          break;
-        case BinOp::FMul:
-          Out.D = L.D * R.D;
-          break;
-        case BinOp::FDiv:
-          Out.D = L.D / R.D;
-          break;
-        }
-        Env[static_cast<unsigned>(CI.DstSlot)] = Out;
+      switch (CI.Op) {
+      case SimOp::Add:
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            Get(CI.Ops[0]).I + Get(CI.Ops[1]).I;
+        break;
+      case SimOp::Sub:
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            Get(CI.Ops[0]).I - Get(CI.Ops[1]).I;
+        break;
+      case SimOp::Mul:
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            Get(CI.Ops[0]).I * Get(CI.Ops[1]).I;
+        break;
+      case SimOp::SDiv: {
+        std::int64_t R = Get(CI.Ops[1]).I;
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            R != 0 ? Get(CI.Ops[0]).I / R : 0;
         break;
       }
-      case ValueKind::InstCmp: {
-        const auto *Cmp = cast<CmpInst>(I);
-        const RuntimeValue &L = Get(CI.Ops[0]);
-        const RuntimeValue &R = Get(CI.Ops[1]);
-        bool B = false;
-        switch (Cmp->getPredicate()) {
-        case CmpPred::EQ:
-          B = L.I == R.I;
-          break;
-        case CmpPred::NE:
-          B = L.I != R.I;
-          break;
-        case CmpPred::SLT:
-          B = L.I < R.I;
-          break;
-        case CmpPred::SLE:
-          B = L.I <= R.I;
-          break;
-        case CmpPred::SGT:
-          B = L.I > R.I;
-          break;
-        case CmpPred::SGE:
-          B = L.I >= R.I;
-          break;
-        case CmpPred::FLT:
-          B = L.D < R.D;
-          break;
-        case CmpPred::FLE:
-          B = L.D <= R.D;
-          break;
-        case CmpPred::FGT:
-          B = L.D > R.D;
-          break;
-        case CmpPred::FGE:
-          B = L.D >= R.D;
-          break;
-        case CmpPred::FEQ:
-          B = L.D == R.D;
-          break;
-        case CmpPred::FNE:
-          B = L.D != R.D;
-          break;
-        }
-        Env[static_cast<unsigned>(CI.DstSlot)] = RuntimeValue::ofInt(B);
+      case SimOp::SRem: {
+        std::int64_t R = Get(CI.Ops[1]).I;
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            R != 0 ? Get(CI.Ops[0]).I % R : 0;
         break;
       }
-      case ValueKind::InstSelect: {
-        const RuntimeValue &C = Get(CI.Ops[0]);
+      case SimOp::And:
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            Get(CI.Ops[0]).I & Get(CI.Ops[1]).I;
+        break;
+      case SimOp::Or:
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            Get(CI.Ops[0]).I | Get(CI.Ops[1]).I;
+        break;
+      case SimOp::Xor:
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            Get(CI.Ops[0]).I ^ Get(CI.Ops[1]).I;
+        break;
+      case SimOp::Shl:
+        Env[static_cast<unsigned>(CI.DstSlot)].I = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(Get(CI.Ops[0]).I)
+            << (static_cast<std::uint64_t>(Get(CI.Ops[1]).I) & 63));
+        break;
+      case SimOp::AShr:
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            Get(CI.Ops[0]).I >>
+            (static_cast<std::uint64_t>(Get(CI.Ops[1]).I) & 63);
+        break;
+      case SimOp::FAdd:
+        Env[static_cast<unsigned>(CI.DstSlot)].D =
+            Get(CI.Ops[0]).D + Get(CI.Ops[1]).D;
+        break;
+      case SimOp::FSub:
+        Env[static_cast<unsigned>(CI.DstSlot)].D =
+            Get(CI.Ops[0]).D - Get(CI.Ops[1]).D;
+        break;
+      case SimOp::FMul:
+        Env[static_cast<unsigned>(CI.DstSlot)].D =
+            Get(CI.Ops[0]).D * Get(CI.Ops[1]).D;
+        break;
+      case SimOp::FDiv:
+        Env[static_cast<unsigned>(CI.DstSlot)].D =
+            Get(CI.Ops[0]).D / Get(CI.Ops[1]).D;
+        break;
+      case SimOp::CmpEQ:
         Env[static_cast<unsigned>(CI.DstSlot)] =
-            C.I != 0 ? Get(CI.Ops[1]) : Get(CI.Ops[2]);
+            RuntimeValue::ofInt(Get(CI.Ops[0]).I == Get(CI.Ops[1]).I);
         break;
-      }
-      case ValueKind::InstCast: {
-        const auto *Cast = dae::cast<CastInst>(I);
-        const RuntimeValue &V = Get(CI.Ops[0]);
-        RuntimeValue Out;
-        switch (Cast->getOpcode()) {
-        case CastOp::SIToFP:
-          Out.D = static_cast<double>(V.I);
-          break;
-        case CastOp::FPToSI:
-          Out.I = static_cast<std::int64_t>(V.D);
-          break;
-        case CastOp::PtrToInt:
-        case CastOp::IntToPtr:
-          Out.I = V.I;
-          break;
-        }
-        Env[static_cast<unsigned>(CI.DstSlot)] = Out;
+      case SimOp::CmpNE:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).I != Get(CI.Ops[1]).I);
         break;
-      }
-      case ValueKind::InstGep: {
-        const auto *Gep = cast<GepInst>(I);
+      case SimOp::CmpSLT:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).I < Get(CI.Ops[1]).I);
+        break;
+      case SimOp::CmpSLE:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).I <= Get(CI.Ops[1]).I);
+        break;
+      case SimOp::CmpSGT:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).I > Get(CI.Ops[1]).I);
+        break;
+      case SimOp::CmpSGE:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).I >= Get(CI.Ops[1]).I);
+        break;
+      case SimOp::CmpFLT:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).D < Get(CI.Ops[1]).D);
+        break;
+      case SimOp::CmpFLE:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).D <= Get(CI.Ops[1]).D);
+        break;
+      case SimOp::CmpFGT:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).D > Get(CI.Ops[1]).D);
+        break;
+      case SimOp::CmpFGE:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).D >= Get(CI.Ops[1]).D);
+        break;
+      case SimOp::CmpFEQ:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).D == Get(CI.Ops[1]).D);
+        break;
+      case SimOp::CmpFNE:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            RuntimeValue::ofInt(Get(CI.Ops[0]).D != Get(CI.Ops[1]).D);
+        break;
+      case SimOp::Select:
+        Env[static_cast<unsigned>(CI.DstSlot)] =
+            Get(CI.Ops[0]).I != 0 ? Get(CI.Ops[1]) : Get(CI.Ops[2]);
+        break;
+      case SimOp::SIToFP:
+        Env[static_cast<unsigned>(CI.DstSlot)].D =
+            static_cast<double>(Get(CI.Ops[0]).I);
+        break;
+      case SimOp::FPToSI:
+        Env[static_cast<unsigned>(CI.DstSlot)].I =
+            static_cast<std::int64_t>(Get(CI.Ops[0]).D);
+        break;
+      case SimOp::PtrCast:
+        Env[static_cast<unsigned>(CI.DstSlot)].I = Get(CI.Ops[0]).I;
+        break;
+      case SimOp::Gep: {
         std::int64_t Addr = Get(CI.Ops[0]).I;
-        const auto &Dims = Gep->getDimSizes();
         std::int64_t Linear = 0;
-        for (unsigned J = 1; J != CI.Ops.size(); ++J) {
-          Linear = Linear * (J > 1 ? Dims[J - 1] : 1) + Get(CI.Ops[J]).I;
-        }
-        Addr += Linear * Gep->getElemSize();
+        for (unsigned J = 1; J != CI.Ops.size(); ++J)
+          Linear =
+              Linear * (J > 1 ? CI.GepDims[J - 1] : 1) + Get(CI.Ops[J]).I;
+        Addr += Linear * CI.GepElemSize;
         Env[static_cast<unsigned>(CI.DstSlot)] = RuntimeValue::ofInt(Addr);
         break;
       }
-      case ValueKind::InstLoad: {
+      case SimOp::LoadI:
+      case SimOp::LoadF: {
         std::uint64_t Addr = static_cast<std::uint64_t>(Get(CI.Ops[0]).I);
         ++S.Loads;
-        LoadSiteStats *Site = nullptr;
-        if (LoadStats) {
-          Site = &(*LoadStats)[I];
-          ++Site->Count;
-        }
-        switch (Caches.access(Core, Addr)) {
-        case HitLevel::L1:
-          ++S.L1Hits;
-          S.ComputeCycles += Cfg.L1HitCycles;
-          break;
-        case HitLevel::L2:
-          ++S.L2Hits;
-          S.ComputeCycles += Cfg.L2HitCycles;
-          break;
-        case HitLevel::LLC:
-          ++S.LLCHits;
-          S.ComputeCycles += Cfg.LLCHitCycles;
-          break;
-        case HitLevel::Memory:
-          ++S.MemAccesses;
-          S.StallNs += Cfg.MemLatencyNs / Cfg.LoadMlp;
-          if (Site)
-            ++Site->Misses;
-          break;
-        }
+        MM.onLoad(S, Addr, CI.I);
         RuntimeValue Out;
-        if (I->getType() == Type::Float64)
-          Out.D = Mem.loadF64(Addr);
+        if (CI.Op == SimOp::LoadF)
+          Out.D = View.loadF64(Addr);
         else
-          Out.I = Mem.loadI64(Addr);
+          Out.I = View.loadI64(Addr);
         Env[static_cast<unsigned>(CI.DstSlot)] = Out;
         break;
       }
-      case ValueKind::InstStore: {
+      case SimOp::StoreI:
+      case SimOp::StoreF: {
         std::uint64_t Addr = static_cast<std::uint64_t>(Get(CI.Ops[1]).I);
         const RuntimeValue &V = Get(CI.Ops[0]);
         ++S.Stores;
-        switch (Caches.access(Core, Addr)) {
-        case HitLevel::L1:
-          ++S.L1Hits;
-          break;
-        case HitLevel::L2:
-          ++S.L2Hits;
-          S.ComputeCycles += Cfg.L2HitCycles * 0.5;
-          break;
-        case HitLevel::LLC:
-          ++S.LLCHits;
-          S.ComputeCycles += Cfg.LLCHitCycles * 0.5;
-          break;
-        case HitLevel::Memory:
-          ++S.MemAccesses;
-          S.StallNs += Cfg.MemLatencyNs / Cfg.StoreMlp;
-          break;
-        }
-        const StoreInst *St = cast<StoreInst>(I);
-        if (St->getValue()->getType() == Type::Float64)
-          Mem.storeF64(Addr, V.D);
+        MM.onStore(S, Addr);
+        if (CI.Op == SimOp::StoreF)
+          View.storeF64(Addr, V.D);
         else
-          Mem.storeI64(Addr, V.I);
+          View.storeI64(Addr, V.I);
         break;
       }
-      case ValueKind::InstPrefetch: {
+      case SimOp::Prefetch: {
         std::uint64_t Addr = static_cast<std::uint64_t>(Get(CI.Ops[0]).I);
         ++S.Prefetches;
-        // Non-binding: warms the hierarchy, never stalls retirement, but is
-        // throughput-limited by the outstanding-miss capacity.
-        switch (Caches.access(Core, Addr)) {
-        case HitLevel::L1:
-        case HitLevel::L2:
-          break;
-        case HitLevel::LLC:
-          S.StallNs += Cfg.LLCHitCycles / Cfg.fmax() / Cfg.PrefetchMlp;
-          break;
-        case HitLevel::Memory:
-          ++S.MemAccesses;
-          S.StallNs += Cfg.MemLatencyNs / Cfg.PrefetchMlp;
-          break;
-        }
+        MM.onPrefetch(S, Addr);
         break;
       }
-      case ValueKind::InstBr: {
-        if (CI.Ops.empty())
-          Next = CI.BlockA;
-        else
-          Next = Get(CI.Ops[0]).I != 0 ? CI.BlockA : CI.BlockB;
+      case SimOp::Br:
+        Next = CI.BlockA;
         break;
-      }
-      case ValueKind::InstRet: {
+      case SimOp::CondBr:
+        Next = Get(CI.Ops[0]).I != 0 ? CI.BlockA : CI.BlockB;
+        break;
+      case SimOp::Ret:
         if (RetOut && !CI.Ops.empty())
           *RetOut = Get(CI.Ops[0]);
         Next = -1;
         break;
-      }
-      case ValueKind::InstCall: {
-        const auto *Call = cast<CallInst>(I);
+      case SimOp::Call: {
         std::vector<RuntimeValue> CallArgs;
         CallArgs.reserve(CI.Ops.size());
         for (const OperandRef &Op : CI.Ops)
           CallArgs.push_back(Get(Op));
         RuntimeValue Ret;
-        PhaseStats Sub = run(*Call->getCallee(), Core, CallArgs, &Ret);
+        PhaseStats Sub =
+            interpret(getCompiled(*CI.Callee), CallArgs, &Ret, MM);
         S += Sub;
         if (CI.DstSlot >= 0)
           Env[static_cast<unsigned>(CI.DstSlot)] = Ret;
         break;
       }
-      default:
-        assert(false && "unhandled instruction in interpreter");
+      case SimOp::Phi:
+        assert(false && "phi reached the dispatch loop");
+        break;
       }
 
-      if (I->isTerminator())
+      if (isTerminatorOp(CI.Op))
         break;
     }
     PrevBlock = Block;
     Block = Next;
   }
   return S;
+}
+
+PhaseStats Interpreter::run(const Function &F, unsigned Core,
+                            const std::vector<RuntimeValue> &Args,
+                            RuntimeValue *RetOut) {
+  assert(Args.size() == F.getNumArgs() && "argument count mismatch");
+  assert(Caches && "fused execution requires a cache hierarchy");
+  FusedModel MM{*Caches, Cfg, Core, LoadStats};
+  return interpret(getCompiled(F), Args, RetOut, MM);
+}
+
+PhaseStats Interpreter::runTraced(const Function &F,
+                                  const std::vector<RuntimeValue> &Args,
+                                  AccessTrace &Trace, RuntimeValue *RetOut) {
+  assert(Args.size() == F.getNumArgs() && "argument count mismatch");
+  TracingModel MM{Trace};
+  return interpret(getCompiled(F), Args, RetOut, MM);
 }

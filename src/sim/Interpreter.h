@@ -7,22 +7,35 @@
 /// \file
 /// Executes Task IR against the simulated memory and cache hierarchy,
 /// producing the frequency-decomposed PhaseStats profile. Functions are
-/// precompiled to a flat slot-addressed form once and cached, so the seven
-/// benchmark applications run at tens of millions of simulated instructions
-/// per second.
+/// precompiled to a flat slot-addressed form with a precomputed opcode enum
+/// (no per-instruction re-switching over IR kinds), so the seven benchmark
+/// applications run at tens of millions of simulated instructions per second.
+///
+/// Two execution modes share one interpreter core:
+///  * run() — the classic fused mode: cache hits/misses are simulated inline
+///    and timing lands directly in the returned PhaseStats.
+///  * runTraced() — the host-parallel engine's functional mode: values are
+///    computed and the ordered memory access stream is recorded into an
+///    AccessTrace; cache timing is filled in later by the runtime's
+///    single-threaded replay (see runtime/Runtime.cpp), which keeps profiles
+///    bit-identical for any host thread count.
+///
+/// Compiled functions can be shared read-only between concurrently running
+/// interpreters via CompiledProgram, pre-populated before execution starts.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAECC_SIM_INTERPRETER_H
 #define DAECC_SIM_INTERPRETER_H
 
+#include "sim/AccessTrace.h"
 #include "sim/CacheSim.h"
 #include "sim/Memory.h"
 #include "sim/PhaseStats.h"
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace dae {
@@ -47,6 +60,10 @@ struct LoadSiteStats {
   }
 };
 
+/// Per-site statistics keyed by the load instruction. Sits on the per-load
+/// hot path when enabled, hence a hash map rather than a tree.
+using LoadStatsMap = std::unordered_map<const ir::Instruction *, LoadSiteStats>;
+
 /// A dynamic value: integer/pointer in I, float in D (discriminated by the
 /// static IR type, so no tag is needed).
 struct RuntimeValue {
@@ -67,34 +84,82 @@ struct RuntimeValue {
 
 class CompiledFunction;
 
+/// A read-only set of compiled functions, built once before execution so
+/// worker threads never mutate shared compiler state. Populate with add()
+/// (single-threaded), then share freely: lookup() is const and safe to call
+/// concurrently.
+class CompiledProgram {
+public:
+  CompiledProgram(const MachineConfig &Cfg, const Loader &L);
+  ~CompiledProgram();
+  CompiledProgram(const CompiledProgram &) = delete;
+  CompiledProgram &operator=(const CompiledProgram &) = delete;
+
+  /// Compiles \p F and every function reachable from it through calls.
+  /// Idempotent; not thread safe.
+  void add(const ir::Function &F);
+
+  /// Returns the compiled form of \p F, or null when it was never added.
+  const CompiledFunction *lookup(const ir::Function &F) const;
+
+private:
+  const MachineConfig &Cfg;
+  const Loader &Load;
+  std::unordered_map<const ir::Function *, std::unique_ptr<CompiledFunction>>
+      Fns;
+};
+
 /// Interprets functions on a simulated core.
 class Interpreter {
 public:
+  /// Fused-mode interpreter: cache effects simulated inline through
+  /// \p Caches. \p Mem must already hold the workload's initialized data.
   Interpreter(const MachineConfig &Cfg, Memory &Mem, CacheHierarchy &Caches,
-              const Loader &L);
+              const Loader &L, const CompiledProgram *Shared = nullptr);
+  /// Tracing-only interpreter (no cache hierarchy needed); used by the
+  /// host-parallel engine's functional pass, one instance per worker thread.
+  Interpreter(const MachineConfig &Cfg, Memory &Mem, const Loader &L,
+              const CompiledProgram *Shared);
   ~Interpreter();
 
-  /// Runs \p F on \p Core with \p Args (one per formal). Returns the phase
-  /// profile; the optional return value is written to \p RetOut.
+  /// Runs \p F on \p Core with \p Args (one per formal), simulating cache
+  /// effects inline. Returns the complete phase profile; the optional return
+  /// value is written to \p RetOut.
   PhaseStats run(const ir::Function &F, unsigned Core,
                  const std::vector<RuntimeValue> &Args,
                  RuntimeValue *RetOut = nullptr);
 
-  /// When set, every executed load records per-site count/miss statistics
-  /// into \p Stats (keyed by the load instruction).
-  void setLoadStats(std::map<const ir::Instruction *, LoadSiteStats> *Stats) {
-    LoadStats = Stats;
-  }
+  /// Runs \p F with \p Args, recording every memory access into \p Trace
+  /// instead of touching caches. The returned PhaseStats carries the
+  /// cache-independent part only (instruction counts, base compute cycles,
+  /// load/store/prefetch counts); hit levels, hit cycles and stalls are
+  /// added by the runtime's trace replay.
+  PhaseStats runTraced(const ir::Function &F,
+                       const std::vector<RuntimeValue> &Args,
+                       AccessTrace &Trace, RuntimeValue *RetOut = nullptr);
+
+  /// When set, every load executed in fused mode records per-site count/miss
+  /// statistics into \p Stats (keyed by the load instruction).
+  void setLoadStats(LoadStatsMap *Stats) { LoadStats = Stats; }
 
 private:
-  std::map<const ir::Instruction *, LoadSiteStats> *LoadStats = nullptr;
+  template <typename MemModel>
+  PhaseStats interpret(const CompiledFunction &CF,
+                       const std::vector<RuntimeValue> &Args,
+                       RuntimeValue *RetOut, MemModel &MM);
+
   const CompiledFunction &getCompiled(const ir::Function &F);
 
+  LoadStatsMap *LoadStats = nullptr;
   const MachineConfig &Cfg;
-  Memory &Mem;
-  CacheHierarchy &Caches;
+  MemoryView View;
+  CacheHierarchy *Caches; ///< Null for tracing-only interpreters.
   const Loader &Load;
-  std::map<const ir::Function *, std::unique_ptr<CompiledFunction>> Cache;
+  const CompiledProgram *Shared; ///< Read-only; preferred over Cache.
+  /// Lazy per-interpreter fallback for functions outside the shared program
+  /// (direct run() users compile on first call).
+  std::unordered_map<const ir::Function *, std::unique_ptr<CompiledFunction>>
+      Cache;
 };
 
 } // namespace sim

@@ -35,6 +35,15 @@ struct CacheConfig {
 struct MachineConfig {
   unsigned NumCores = 4;
 
+  /// Host worker threads the simulation engine uses for the functional
+  /// (value-producing) pass of each dependency wave — the CLI surface is
+  /// --sim-threads=N in the bench drivers. Any value produces bit-identical
+  /// RunProfiles: cache timing is always replayed single-threaded in
+  /// schedule order (see DESIGN.md, "Host-parallel simulation"). 1 keeps the
+  /// fully sequential reference path; values above NumCores still help, as
+  /// the functional pass parallelizes over tasks, not simulated cores.
+  unsigned SimThreads = 1;
+
   // Private per-core L1/L2, shared LLC. The geometry is a proportionally
   // scaled-down Sandybridge (1/4-1/16 capacity at equal associativity):
   // workload footprints are scaled down by the same factor so cache-relative

@@ -14,15 +14,25 @@
 using namespace dae;
 using namespace dae::sim;
 
-std::uint8_t *Memory::pagePtr(std::uint64_t Addr) {
-  std::uint64_t Page = Addr >> PageBits;
-  auto It = Pages.find(Page);
-  if (It == Pages.end()) {
+std::uint8_t *Memory::pageFor(std::uint64_t PageIdx) {
+  Shard &S = Shards[shardOf(PageIdx)];
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Pages.find(PageIdx);
+  if (It == S.Pages.end()) {
     auto Mem = std::make_unique<std::uint8_t[]>(PageSize);
     std::memset(Mem.get(), 0, PageSize);
-    It = Pages.emplace(Page, std::move(Mem)).first;
+    It = S.Pages.emplace(PageIdx, std::move(Mem)).first;
   }
-  return It->second.get() + (Addr & (PageSize - 1));
+  return It->second.get();
+}
+
+size_t Memory::pagesTouched() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Pages.size();
+  }
+  return N;
 }
 
 namespace {
@@ -56,6 +66,30 @@ void Memory::storeI64(std::uint64_t Addr, std::int64_t V) {
 void Memory::storeF64(std::uint64_t Addr, double V) {
   assert(withinPage(Addr) && "unaligned cross-page access");
   std::memcpy(pagePtr(Addr), &V, sizeof(V));
+}
+
+std::int64_t MemoryView::loadI64(std::uint64_t Addr) {
+  assert(withinPage(Addr) && "unaligned cross-page access");
+  std::int64_t V;
+  std::memcpy(&V, ptr(Addr), sizeof(V));
+  return V;
+}
+
+double MemoryView::loadF64(std::uint64_t Addr) {
+  assert(withinPage(Addr) && "unaligned cross-page access");
+  double V;
+  std::memcpy(&V, ptr(Addr), sizeof(V));
+  return V;
+}
+
+void MemoryView::storeI64(std::uint64_t Addr, std::int64_t V) {
+  assert(withinPage(Addr) && "unaligned cross-page access");
+  std::memcpy(ptr(Addr), &V, sizeof(V));
+}
+
+void MemoryView::storeF64(std::uint64_t Addr, double V) {
+  assert(withinPage(Addr) && "unaligned cross-page access");
+  std::memcpy(ptr(Addr), &V, sizeof(V));
 }
 
 Loader::Loader(const ir::Module &M, std::uint64_t Base) {

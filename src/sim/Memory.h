@@ -9,6 +9,14 @@
 /// base addresses to module globals. Workloads initialize their arrays
 /// through it and the interpreter reads/writes through it.
 ///
+/// The page table is safe under concurrent access from the host-parallel
+/// simulation engine: lookups and on-touch allocation take a sharded mutex,
+/// and page storage is never moved or freed once allocated, so raw page
+/// pointers handed out by pageFor() stay valid for the Memory's lifetime
+/// (interpreters cache them thread-locally to keep the hot path lock-free).
+/// Same-wave tasks write disjoint addresses by the runtime's independence
+/// contract, so byte-level data races cannot occur.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAECC_SIM_MEMORY_H
@@ -17,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,21 +42,39 @@ namespace sim {
 /// Sparse simulated memory (4 KiB pages allocated on touch).
 class Memory {
 public:
+  static constexpr std::uint64_t PageBits = 12;
+  static constexpr std::uint64_t PageSize = 1ull << PageBits;
+
   std::int64_t loadI64(std::uint64_t Addr);
   double loadF64(std::uint64_t Addr);
   void storeI64(std::uint64_t Addr, std::int64_t V);
   void storeF64(std::uint64_t Addr, double V);
 
+  /// Returns the backing storage of page \p PageIdx (allocating it zeroed on
+  /// first touch). Thread safe; the returned pointer is stable until the
+  /// Memory is destroyed.
+  std::uint8_t *pageFor(std::uint64_t PageIdx);
+
   /// Number of distinct pages touched (testing/diagnostics).
-  size_t pagesTouched() const { return Pages.size(); }
+  size_t pagesTouched() const;
 
 private:
-  static constexpr std::uint64_t PageBits = 12;
-  static constexpr std::uint64_t PageSize = 1ull << PageBits;
+  std::uint8_t *pagePtr(std::uint64_t Addr) {
+    return pageFor(Addr >> PageBits) + (Addr & (PageSize - 1));
+  }
 
-  std::uint8_t *pagePtr(std::uint64_t Addr);
+  /// Sharded page table: the shard index is a cheap hash of the page number,
+  /// so concurrent workers touching different regions rarely contend.
+  static constexpr unsigned NumShards = 64;
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> Pages;
+  };
+  Shard Shards[NumShards];
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> Pages;
+  static unsigned shardOf(std::uint64_t PageIdx) {
+    return static_cast<unsigned>((PageIdx ^ (PageIdx >> 6)) & (NumShards - 1));
+  }
 };
 
 /// Assigns non-overlapping, line-aligned base addresses to every global of a
@@ -62,6 +89,37 @@ public:
 private:
   std::map<const ir::GlobalVariable *, std::uint64_t> Bases;
   std::map<std::string, std::uint64_t> ByName;
+};
+
+/// A per-thread window into a Memory: caches page pointers (which are stable)
+/// so repeated accesses skip the sharded page-table lock entirely. Each
+/// interpreter owns one; they are cheap and never shared across threads.
+class MemoryView {
+public:
+  explicit MemoryView(Memory &M) : M(M) {}
+
+  std::uint8_t *ptr(std::uint64_t Addr) {
+    std::uint64_t Page = Addr >> Memory::PageBits;
+    if (Page != LastPage) {
+      auto It = PagePtrs.find(Page);
+      if (It == PagePtrs.end())
+        It = PagePtrs.emplace(Page, M.pageFor(Page)).first;
+      LastPage = Page;
+      LastPtr = It->second;
+    }
+    return LastPtr + (Addr & (Memory::PageSize - 1));
+  }
+
+  std::int64_t loadI64(std::uint64_t Addr);
+  double loadF64(std::uint64_t Addr);
+  void storeI64(std::uint64_t Addr, std::int64_t V);
+  void storeF64(std::uint64_t Addr, double V);
+
+private:
+  Memory &M;
+  std::uint64_t LastPage = ~0ull;
+  std::uint8_t *LastPtr = nullptr;
+  std::unordered_map<std::uint64_t, std::uint8_t *> PagePtrs;
 };
 
 } // namespace sim

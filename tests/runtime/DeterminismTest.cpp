@@ -1,0 +1,158 @@
+//===- tests/runtime/DeterminismTest.cpp - Host-parallel determinism --------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The engine's core guarantee: RunProfiles are bit-identical for every
+// --sim-threads value. Every comparison here is exact (EXPECT_EQ on doubles
+// included) — any divergence between thread counts is a bug, not noise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+#include "ir/IRBuilder.h"
+#include "runtime/Runtime.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::runtime;
+using namespace dae::sim;
+
+namespace {
+
+void expectStatsEqual(const PhaseStats &A, const PhaseStats &B,
+                      const char *What, size_t TaskIdx) {
+  EXPECT_EQ(A.Instructions, B.Instructions) << What << " task " << TaskIdx;
+  EXPECT_EQ(A.ComputeCycles, B.ComputeCycles) << What << " task " << TaskIdx;
+  EXPECT_EQ(A.StallNs, B.StallNs) << What << " task " << TaskIdx;
+  EXPECT_EQ(A.Loads, B.Loads) << What << " task " << TaskIdx;
+  EXPECT_EQ(A.Stores, B.Stores) << What << " task " << TaskIdx;
+  EXPECT_EQ(A.Prefetches, B.Prefetches) << What << " task " << TaskIdx;
+  EXPECT_EQ(A.L1Hits, B.L1Hits) << What << " task " << TaskIdx;
+  EXPECT_EQ(A.L2Hits, B.L2Hits) << What << " task " << TaskIdx;
+  EXPECT_EQ(A.LLCHits, B.LLCHits) << What << " task " << TaskIdx;
+  EXPECT_EQ(A.MemAccesses, B.MemAccesses) << What << " task " << TaskIdx;
+}
+
+void expectProfilesEqual(const RunProfile &A, const RunProfile &B) {
+  EXPECT_EQ(A.NumCores, B.NumCores);
+  ASSERT_EQ(A.Tasks.size(), B.Tasks.size());
+  for (size_t I = 0; I != A.Tasks.size(); ++I) {
+    const TaskProfile &TA = A.Tasks[I];
+    const TaskProfile &TB = B.Tasks[I];
+    EXPECT_EQ(TA.Core, TB.Core) << "task " << I;
+    EXPECT_EQ(TA.Wave, TB.Wave) << "task " << I;
+    EXPECT_EQ(TA.HasAccess, TB.HasAccess) << "task " << I;
+    expectStatsEqual(TA.Access, TB.Access, "access", I);
+    expectStatsEqual(TA.Execute, TB.Execute, "execute", I);
+  }
+}
+
+/// A module with one streaming task (Dst[i] = Src[i]) and one access fn.
+struct RtFixture {
+  Module M;
+  Function *Exec;
+  Function *Access;
+  MachineConfig Cfg;
+
+  RtFixture() {
+    auto *Src = M.createGlobal("Src", (1 << 16) * 8);
+    auto *Dst = M.createGlobal("Dst", (1 << 16) * 8);
+    Exec = M.createFunction("stream", Type::Void, {Type::Int64, Type::Int64});
+    {
+      IRBuilder B(M, Exec->createBlock("entry"));
+      emitCountedLoop(B, Exec->getArg(0), Exec->getArg(1), B.getInt(1), "i",
+                      [&](IRBuilder &B, Value *I) {
+        Value *V = B.createLoad(Type::Float64, B.createGep1D(Src, I, 8));
+        B.createStore(V, B.createGep1D(Dst, I, 8));
+      });
+      B.createRet();
+    }
+    Access =
+        M.createFunction("stream.acc", Type::Void, {Type::Int64, Type::Int64});
+    {
+      IRBuilder B(M, Access->createBlock("entry"));
+      emitCountedLoop(B, Access->getArg(0), Access->getArg(1), B.getInt(8),
+                      "p", [&](IRBuilder &B, Value *I) {
+                        B.createPrefetch(B.createGep1D(Src, I, 8));
+                      });
+      B.createRet();
+    }
+  }
+
+  std::vector<Task> makeTasks(unsigned NumTasks, unsigned Waves = 1) {
+    std::vector<Task> Tasks;
+    std::int64_t Chunk = (1 << 16) / NumTasks;
+    for (unsigned T = 0; T != NumTasks; ++T)
+      Tasks.push_back({Exec,
+                       Access,
+                       {RuntimeValue::ofInt(T * Chunk),
+                        RuntimeValue::ofInt((T + 1) * Chunk)},
+                       T % Waves});
+    return Tasks;
+  }
+
+  /// Runs the same task set with \p Threads workers on fresh memory.
+  RunProfile run(unsigned Threads, unsigned NumTasks, unsigned Waves,
+                 bool RunAccess) {
+    MachineConfig C = Cfg;
+    C.SimThreads = Threads;
+    Memory Mem;
+    Loader L(M);
+    TaskRuntime RT(C, Mem, L);
+    return RT.execute(makeTasks(NumTasks, Waves), RunAccess);
+  }
+};
+
+class StreamDeterminismTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StreamDeterminismTest, MatchesSequentialReference) {
+  RtFixture Fx;
+  unsigned Threads = GetParam();
+  struct Shape {
+    unsigned Tasks, Waves;
+    bool RunAccess;
+  };
+  // Uneven task/wave/core divisions on purpose: they exercise stealing and
+  // partially-filled waves, where schedule bugs would hide.
+  for (Shape S : {Shape{32, 1, true}, Shape{16, 4, true}, Shape{15, 3, true},
+                  Shape{7, 2, true}, Shape{16, 4, false}}) {
+    RunProfile Seq = Fx.run(1, S.Tasks, S.Waves, S.RunAccess);
+    RunProfile Par = Fx.run(Threads, S.Tasks, S.Waves, S.RunAccess);
+    expectProfilesEqual(Seq, Par);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, StreamDeterminismTest,
+                         ::testing::Values(2u, 4u, 7u));
+
+/// End-to-end: all seven paper workloads through the full harness (CAE,
+/// Manual DAE, Auto DAE) must profile bit-identically at 1 and 4 threads.
+class WorkloadDeterminismTest : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(WorkloadDeterminismTest, FourThreadsMatchOne) {
+  auto RunAt = [&](unsigned Threads) {
+    MachineConfig Cfg;
+    Cfg.SimThreads = Threads;
+    auto W = workloads::buildByName(GetParam(), workloads::Scale::Test);
+    return harness::runApp(*W, Cfg);
+  };
+  harness::AppResult Seq = RunAt(1);
+  harness::AppResult Par = RunAt(4);
+  EXPECT_TRUE(Seq.OutputsMatch);
+  EXPECT_TRUE(Par.OutputsMatch);
+  expectProfilesEqual(Seq.Cae, Par.Cae);
+  expectProfilesEqual(Seq.Manual, Par.Manual);
+  expectProfilesEqual(Seq.Auto, Par.Auto);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDeterminismTest,
+                         ::testing::Values("lu", "cholesky", "fft", "lbm",
+                                           "libq", "cigar", "cg"));
+
+} // namespace
