@@ -57,6 +57,23 @@ inline unsigned simThreadsFromArgs(int Argc, char **Argv) {
   return 1u;
 }
 
+/// Concurrent suite jobs for harness::runSuite: `--jobs=N` (or
+/// DAECC_JOBS=N). Defaults to 1, the sequential reference; any value
+/// produces bit-identical simulated results (see harness/JobPool.h for how
+/// jobs and sim threads share the host budget).
+inline unsigned jobsFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--jobs=", 7) == 0) {
+      long N = std::strtol(Argv[I] + 7, nullptr, 10);
+      return N > 0 ? static_cast<unsigned>(N) : 1u;
+    }
+  if (const char *Env = std::getenv("DAECC_JOBS")) {
+    long N = std::strtol(Env, nullptr, 10);
+    return N > 0 ? static_cast<unsigned>(N) : 1u;
+  }
+  return 1u;
+}
+
 inline void printRule(int Width = 78) {
   for (int I = 0; I != Width; ++I)
     std::putchar('-');
@@ -72,48 +89,106 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 }
 
 /// Wall-clocks the simulation section of a bench binary and writes the
-/// throughput to BENCH_<name>.json. Call start() before the simulation loop,
-/// add instructions as profiles arrive, then report() once.
+/// throughput to BENCH_<name>.json. Call start() before the simulation loop
+/// (this eagerly writes the file with status "started", so even a crash or
+/// partial failure leaves a record), add instructions as profiles arrive,
+/// then report() once.
+///
+/// BENCH_<name>.json schema — one flat JSON object per bench run:
+///   bench                     string  bench name (matches the file name)
+///   jobs                      int     concurrent suite jobs (--jobs)
+///   sim_threads               int     requested sim threads per job
+///   wall_seconds              double  simulation-section wall clock
+///   sim_instructions          int     simulated instructions retired
+///   sim_instructions_per_sec  double  sim_instructions / wall_seconds
+///   baseline_jobs1_seconds    double  wall clock of the sequential
+///                                     --jobs=1 reference run; -1 when the
+///                                     baseline was not measured
+///   speedup_vs_jobs1          double  baseline_jobs1_seconds /
+///                                     wall_seconds; -1 when not measured
+///   failures                  int     apps whose schemes disagreed (or
+///                                     otherwise failed)
+///   status                    string  "started" while running, then "ok"
+///                                     (failures == 0) or "partial"
 class ThroughputReporter {
 public:
-  ThroughputReporter(std::string BenchName, unsigned SimThreads)
-      : Name(std::move(BenchName)), SimThreads(SimThreads) {}
+  ThroughputReporter(std::string BenchName, unsigned SimThreads,
+                     unsigned Jobs = 1)
+      : Name(std::move(BenchName)), SimThreads(SimThreads), Jobs(Jobs) {}
 
-  void start() { Start = std::chrono::steady_clock::now(); }
+  void start() {
+    Start = std::chrono::steady_clock::now();
+    End = Start;
+    writeJson("started");
+  }
   void stop() { End = std::chrono::steady_clock::now(); }
   void add(const runtime::RunProfile &P) { Instructions += simInstructions(P); }
+  /// Records a partial failure (e.g. one app's schemes disagreed). The JSON
+  /// is still written; status becomes "partial".
+  void noteFailure() { ++Failures; }
+  /// Wall clock of a separately measured sequential (--jobs=1) run of the
+  /// same suite, enabling the speedup_vs_jobs1 field.
+  void setBaseline(double Jobs1Seconds) { BaselineSeconds = Jobs1Seconds; }
 
-  /// Prints the throughput line and writes BENCH_<name>.json next to the
+  double seconds() const {
+    return std::chrono::duration<double>(End - Start).count();
+  }
+
+  /// Prints the throughput line and finalizes BENCH_<name>.json in the
   /// binary's working directory.
   void report() {
-    double Seconds =
-        std::chrono::duration<double>(End - Start).count();
+    double Seconds = seconds();
     double Ips = Seconds > 0.0 ? static_cast<double>(Instructions) / Seconds
                                : 0.0;
     std::printf("\n[throughput] %s: %llu simulated instructions in %.3f s "
-                "(%.2f M inst/s, %u host thread%s)\n",
+                "(%.2f M inst/s, %u job%s x %u sim thread%s)\n",
                 Name.c_str(),
                 static_cast<unsigned long long>(Instructions), Seconds,
-                Ips / 1e6, SimThreads, SimThreads == 1 ? "" : "s");
+                Ips / 1e6, Jobs, Jobs == 1 ? "" : "s", SimThreads,
+                SimThreads == 1 ? "" : "s");
+    if (BaselineSeconds > 0.0)
+      std::printf("[throughput] %s: --jobs=1 baseline %.3f s -> speedup "
+                  "%.2fx\n",
+                  Name.c_str(), BaselineSeconds, BaselineSeconds / Seconds);
+    writeJson(Failures == 0 ? "ok" : "partial");
+  }
+
+private:
+  void writeJson(const char *Status) {
+    double Seconds = seconds();
+    double Ips = Seconds > 0.0 ? static_cast<double>(Instructions) / Seconds
+                               : 0.0;
+    double Speedup =
+        BaselineSeconds > 0.0 && Seconds > 0.0 ? BaselineSeconds / Seconds
+                                               : -1.0;
     std::string Path = "BENCH_" + Name + ".json";
     if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
       std::fprintf(F,
                    "{\n"
                    "  \"bench\": \"%s\",\n"
+                   "  \"jobs\": %u,\n"
                    "  \"sim_threads\": %u,\n"
                    "  \"wall_seconds\": %.6f,\n"
                    "  \"sim_instructions\": %llu,\n"
-                   "  \"sim_instructions_per_sec\": %.1f\n"
+                   "  \"sim_instructions_per_sec\": %.1f,\n"
+                   "  \"baseline_jobs1_seconds\": %.6f,\n"
+                   "  \"speedup_vs_jobs1\": %.3f,\n"
+                   "  \"failures\": %u,\n"
+                   "  \"status\": \"%s\"\n"
                    "}\n",
-                   Name.c_str(), SimThreads, Seconds,
-                   static_cast<unsigned long long>(Instructions), Ips);
+                   Name.c_str(), Jobs, SimThreads, Seconds,
+                   static_cast<unsigned long long>(Instructions), Ips,
+                   BaselineSeconds > 0.0 ? BaselineSeconds : -1.0, Speedup,
+                   Failures, Status);
       std::fclose(F);
     }
   }
 
-private:
   std::string Name;
   unsigned SimThreads;
+  unsigned Jobs;
+  unsigned Failures = 0;
+  double BaselineSeconds = -1.0;
   std::uint64_t Instructions = 0;
   std::chrono::steady_clock::time_point Start, End;
 };

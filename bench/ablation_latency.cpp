@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "dae/GenerationMemo.h"
 #include "harness/Harness.h"
 #include "support/MathUtil.h"
 
@@ -27,10 +28,20 @@ using namespace dae::harness;
 int main(int Argc, char **Argv) {
   workloads::Scale S = scaleFromArgs(Argc, Argv);
   sim::MachineConfig Cfg;
+  Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
+  unsigned Jobs = jobsFromArgs(Argc, Argv);
 
-  std::vector<AppResult> Results;
-  for (auto &W : workloads::buildAll(S))
-    Results.push_back(runApp(*W, Cfg));
+  auto Workloads = workloads::buildAll(S);
+  std::vector<SuiteItem> Items;
+  for (auto &W : Workloads)
+    Items.push_back({W.get(), nullptr});
+
+  GenerationMemo Memo;
+  SuiteConfig SC;
+  SC.Jobs = Jobs;
+  SC.SimThreads = Cfg.SimThreads;
+  SC.Memo = &Memo;
+  std::vector<AppResult> Results = runSuite(Items, Cfg, SC);
 
   std::printf("DVFS transition latency sweep (Optimal-EDP policy, geomean "
               "over all 7 apps)\n");

@@ -24,10 +24,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "dae/GenerationMemo.h"
 #include "harness/Harness.h"
 #include "support/MathUtil.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 using namespace dae;
@@ -65,23 +68,59 @@ int main(int Argc, char **Argv) {
   workloads::Scale S = scaleFromArgs(Argc, Argv);
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
+  unsigned Jobs = jobsFromArgs(Argc, Argv);
+  bool MeasureBaseline = Jobs > 1;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--no-baseline") == 0)
+      MeasureBaseline = false;
 
   std::printf("Figure 3: DAE vs regular task execution "
               "(quad-core, 500 ns DVFS transitions)\n");
 
-  ThroughputReporter Throughput("fig3_dae_vs_cae", Cfg.SimThreads);
+  ThroughputReporter Throughput("fig3_dae_vs_cae", Cfg.SimThreads, Jobs);
+  auto Workloads = workloads::buildAll(S);
+  std::vector<SuiteItem> Items;
+  for (auto &W : Workloads)
+    Items.push_back({W.get(), nullptr});
+
+  GenerationMemo Memo;
+  SuiteConfig SC;
+  SC.Jobs = Jobs;
+  SC.SimThreads = Cfg.SimThreads;
+  SC.Memo = &Memo;
+
   Throughput.start();
-  std::vector<AppResult> Results;
-  for (auto &W : workloads::buildAll(S)) {
-    Results.push_back(runApp(*W, Cfg));
-    if (!Results.back().OutputsMatch)
-      std::printf("WARNING: %s outputs differ across schemes!\n",
-                  Results.back().Name.c_str());
-    Throughput.add(Results.back().Cae);
-    Throughput.add(Results.back().Manual);
-    Throughput.add(Results.back().Auto);
-  }
+  std::vector<AppResult> Results = runSuite(Items, Cfg, SC);
   Throughput.stop();
+  for (const AppResult &R : Results) {
+    if (!R.OutputsMatch) {
+      std::printf("WARNING: %s outputs differ across schemes!\n",
+                  R.Name.c_str());
+      Throughput.noteFailure();
+    }
+    Throughput.add(R.Cae);
+    Throughput.add(R.Manual);
+    Throughput.add(R.Auto);
+  }
+
+  // Sequential reference for the recorded speedup (skipped via
+  // --no-baseline; same sim-thread request, fresh workloads and memo).
+  if (MeasureBaseline) {
+    auto BaseWorkloads = workloads::buildAll(S);
+    std::vector<SuiteItem> BaseItems;
+    for (auto &W : BaseWorkloads)
+      BaseItems.push_back({W.get(), nullptr});
+    GenerationMemo BaseMemo;
+    SuiteConfig BaseSC;
+    BaseSC.Jobs = 1;
+    BaseSC.SimThreads = Cfg.SimThreads;
+    BaseSC.Memo = &BaseMemo;
+    auto T0 = std::chrono::steady_clock::now();
+    std::vector<AppResult> BaseResults = runSuite(BaseItems, Cfg, BaseSC);
+    auto T1 = std::chrono::steady_clock::now();
+    Throughput.setBaseline(std::chrono::duration<double>(T1 - T0).count());
+    (void)BaseResults;
+  }
 
   for (double Latency : {500.0, 0.0}) {
     std::printf("\n================ transition latency: %.0f ns "

@@ -22,9 +22,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "dae/GenerationMemo.h"
 #include "harness/Harness.h"
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 using namespace dae;
 using namespace dae::bench;
@@ -51,16 +54,36 @@ int main(int Argc, char **Argv) {
   workloads::Scale S = scaleFromArgs(Argc, Argv);
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
+  unsigned Jobs = jobsFromArgs(Argc, Argv);
 
   std::printf("Figure 4: per-frequency runtime & energy profiles "
               "(access at fmin; execute swept fmin->fmax; 500 ns "
               "transitions)\n");
 
-  ThroughputReporter Throughput("fig4_profiles", Cfg.SimThreads);
-  Throughput.start();
+  std::vector<std::unique_ptr<workloads::Workload>> Workloads;
+  std::vector<SuiteItem> Items;
   for (const char *Name : {"cholesky", "fft", "libq"}) {
-    auto W = workloads::buildByName(Name, S);
-    AppResult R = runApp(*W, Cfg);
+    Workloads.push_back(workloads::buildByName(Name, S));
+    Items.push_back({Workloads.back().get(), nullptr});
+  }
+
+  GenerationMemo Memo;
+  SuiteConfig SC;
+  SC.Jobs = Jobs;
+  SC.SimThreads = Cfg.SimThreads;
+  SC.Memo = &Memo;
+
+  ThroughputReporter Throughput("fig4_profiles", Cfg.SimThreads, Jobs);
+  Throughput.start();
+  std::vector<AppResult> Results = runSuite(Items, Cfg, SC);
+  Throughput.stop();
+
+  for (const AppResult &R : Results) {
+    if (!R.OutputsMatch) {
+      std::printf("WARNING: %s outputs differ across schemes!\n",
+                  R.Name.c_str());
+      Throughput.noteFailure();
+    }
     Throughput.add(R.Cae);
     Throughput.add(R.Manual);
     Throughput.add(R.Auto);
@@ -72,7 +95,6 @@ int main(int Argc, char **Argv) {
       printSeries(R.Name.c_str(), Label, Series);
     }
   }
-  Throughput.stop();
   Throughput.report();
   return 0;
 }

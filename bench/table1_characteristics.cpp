@@ -21,9 +21,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "dae/GenerationMemo.h"
 #include "harness/Harness.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace dae;
 using namespace dae::bench;
@@ -32,14 +34,27 @@ using namespace dae::harness;
 int main(int Argc, char **Argv) {
   workloads::Scale S = scaleFromArgs(Argc, Argv);
   sim::MachineConfig Cfg;
+  Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
+  unsigned Jobs = jobsFromArgs(Argc, Argv);
+
+  auto Workloads = workloads::buildAll(S);
+  std::vector<SuiteItem> Items;
+  for (auto &W : Workloads)
+    Items.push_back({W.get(), nullptr});
+
+  GenerationMemo Memo;
+  SuiteConfig SC;
+  SC.Jobs = Jobs;
+  SC.SimThreads = Cfg.SimThreads;
+  SC.Memo = &Memo;
+  std::vector<AppResult> Results = runSuite(Items, Cfg, SC);
 
   std::printf("Table 1: Application characteristics (reproduction)\n");
   std::printf("%-10s %14s %10s %8s %10s   %s\n", "App",
               "affine/total", "#tasks", "TA%", "TA(usec)", "strategy");
   printRule();
 
-  for (auto &W : workloads::buildAll(S)) {
-    AppResult R = runApp(*W, Cfg);
+  for (const AppResult &R : Results) {
     const char *Strategy =
         R.Generation.empty()
             ? "none"

@@ -32,7 +32,12 @@ AccessPhaseResult dae::generateAccessPhase(Module &M, Function &Task,
     return Result;
   }
   passes::optimizeFunction(Task);
+  return generateAccessPhaseForOptimizedTask(M, Task, Opts);
+}
 
+AccessPhaseResult
+dae::generateAccessPhaseForOptimizedTask(Module &M, Function &Task,
+                                         const DaeOptions &Opts) {
   TaskClassification Cls = classifyTask(Task);
   if (Cls.Class == TaskClass::Rejected) {
     AccessPhaseResult Result;

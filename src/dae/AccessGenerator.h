@@ -29,6 +29,35 @@ class Function;
 class Module;
 } // namespace ir
 
+/// What the generators actually consulted while producing a phase. The
+/// generation memo (GenerationMemo.h) uses this to decide which DaeOptions
+/// knobs were *relevant* to the produced function: a knob the generator
+/// never acted on can be wildcarded in the cache key, which is what lets
+/// ablation sweeps hit the cache for variants whose knob changes nothing.
+struct GenerationTrace {
+  /// The affine generator ran to completion (emitted a phase).
+  bool AffineRan = false;
+  /// Per access class: whether the hull scan was emittable at all, and the
+  /// minimal slack that accepts it (NconvUn - NOrig). A class takes the hull
+  /// iff Emittable && HullSlackThreshold >= Need, so two thresholds are
+  /// interchangeable when they accept exactly the same classes.
+  struct ClassGuard {
+    bool Emittable = false;
+    long long Need = 0;
+  };
+  std::vector<ClassGuard> Guards;
+  /// At least two nests were actually merged (MergeLoopNests acted).
+  bool MergeApplied = false;
+
+  /// The skeleton generator ran.
+  bool SkeletonRan = false;
+  /// In-loop conditionals that were candidates for 5.2.2 step 6 removal, and
+  /// how many were rewritten. When both runs see zero rewrites the SimplifyCfg
+  /// knob is irrelevant to this task.
+  unsigned CondCandidates = 0;
+  unsigned CondsRewritten = 0;
+};
+
 /// Outcome of access-phase generation for one task.
 struct AccessPhaseResult {
   /// The generated access function (same signature as the task), registered
@@ -55,6 +84,9 @@ struct AccessPhaseResult {
   /// Access classes discovered (arrays x parameter signatures).
   unsigned NumClasses = 0;
 
+  /// Knob-relevance record for the generation memo.
+  GenerationTrace Trace;
+
   bool succeeded() const { return AccessFn != nullptr; }
 };
 
@@ -64,6 +96,14 @@ struct AccessPhaseResult {
 /// modified.
 AccessPhaseResult generateAccessPhase(ir::Module &M, ir::Function &Task,
                                       const DaeOptions &Opts);
+
+/// Same as generateAccessPhase but assumes \p Task has already been checked
+/// for inlinability and optimized (exactly what generateAccessPhase does
+/// first). The generation memo uses this entry so the task is optimized once
+/// for both the content key and any subsequent generation.
+AccessPhaseResult generateAccessPhaseForOptimizedTask(ir::Module &M,
+                                                      ir::Function &Task,
+                                                      const DaeOptions &Opts);
 
 } // namespace dae
 

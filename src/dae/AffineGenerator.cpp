@@ -521,9 +521,14 @@ AccessPhaseResult dae::generateAffineAccess(Module &M, Function &Task,
       return Result;
     }
 
+    GenerationTrace::ClassGuard Guard;
+    Guard.Emittable = scanIsEmittable(Hull, D);
+    Guard.Need = *NHull - *NOrig;
+    Result.Trace.Guards.push_back(Guard);
+
     // The count guard is the refinement introduced with the convex-union
     // analysis; the 5.1.1 baseline scans its range unconditionally.
-    if (scanIsEmittable(Hull, D) &&
+    if (Guard.Emittable &&
         (!Opts.UseConvexUnion ||
          *NHull - Opts.HullSlackThreshold <= *NOrig)) {
       TotalNScan += *NHull;
@@ -594,6 +599,7 @@ AccessPhaseResult dae::generateAffineAccess(Module &M, Function &Task,
     Merged.push_back(std::move(MN));
   }
   Result.NumPrefetchNests = static_cast<unsigned>(Merged.size());
+  Result.Trace.MergeApplied = Merged.size() != Nests.size();
 
   // Emit the access function.
   std::vector<Type> ParamTys;
@@ -676,6 +682,7 @@ AccessPhaseResult dae::generateAffineAccess(Module &M, Function &Task,
   B.createRet();
 
   Result.AccessFn = AccessFn;
+  Result.Trace.AffineRan = true;
   Result.Notes = strfmt(
       "affine access: %u classes, %u nests, NOrig=%lld, NScan=%lld%s",
       Result.NumClasses, Result.NumPrefetchNests, Result.NOrig,

@@ -45,7 +45,10 @@ Value *pickSafeIncoming(PhiInst *Phi, BasicBlock *BB,
   return nullptr;
 }
 
-void simplifyControlFlow(Function &F) {
+/// Returns the number of conditionals rewritten (for the generation memo's
+/// knob-relevance trace).
+unsigned simplifyControlFlow(Function &F) {
+  unsigned Rewritten = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -103,6 +106,7 @@ void simplifyControlFlow(Function &F) {
       for (auto &[Phi, V] : NewEdges)
         Phi->addIncoming(V, BB.get());
       Br->makeUnconditional(Join);
+      ++Rewritten;
       Changed = true;
     }
     if (Changed) {
@@ -110,6 +114,27 @@ void simplifyControlFlow(Function &F) {
       passes::runDCE(F);
     }
   }
+  return Rewritten;
+}
+
+/// Counts conditional branches inside loop bodies that are not loop exit
+/// tests — the candidates simplifyControlFlow would consider. Zero means the
+/// SimplifyCfg knob cannot affect this task.
+unsigned countLoopConditionals(Function &F) {
+  LoopInfo LI(F);
+  unsigned Candidates = 0;
+  for (const auto &BB : F) {
+    auto *Br = dyn_cast_if_present<BrInst>(BB->getTerminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    Loop *L = LI.getLoopFor(BB.get());
+    if (!L)
+      continue;
+    if (L->contains(Br->getTrueDest()) != L->contains(Br->getFalseDest()))
+      continue;
+    ++Candidates;
+  }
+  return Candidates;
 }
 
 } // namespace
@@ -174,8 +199,10 @@ AccessPhaseResult dae::generateSkeletonAccess(Module &M, Function &Task,
   for (StoreInst *St : Stores)
     St->getParent()->erase(St);
   Stores.clear();
+  Result.Trace.SkeletonRan = true;
+  Result.Trace.CondCandidates = countLoopConditionals(*Clone);
   if (Opts.SimplifyCfg)
-    simplifyControlFlow(*Clone);
+    Result.Trace.CondsRewritten = simplifyControlFlow(*Clone);
 
   // Step 5: mark address computation and loop control flow by walking the
   // use-def chains from the prefetches and terminators.

@@ -7,12 +7,15 @@
 #include "harness/Harness.h"
 
 #include "analysis/TaskAnalysis.h"
-#include "passes/Passes.h"
-#include "sim/Interpreter.h"
+#include "dae/GenerationMemo.h"
+#include "harness/JobPool.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "passes/Passes.h"
+#include "sim/Interpreter.h"
 
 #include <cassert>
+#include <memory>
 #include <set>
 
 using namespace dae;
@@ -50,78 +53,155 @@ RunProfile runScheme(const Workload &W, const std::vector<Task> &Tasks,
   return P;
 }
 
-} // namespace
+/// Everything one app needs before its three scheme simulations can run:
+/// generated access phases, the three task lists, and the loader. Shared by
+/// runApp (sequential) and runSuite (job pool).
+struct PreparedApp {
+  const Workload *W = nullptr;
+  std::vector<AccessPhaseResult> Generation;
+  unsigned AffineLoops = 0, TotalLoops = 0;
+  /// Task lists indexed by Scheme (Cae, Manual, Auto).
+  std::vector<Task> SchemeTasks[3];
+  std::unique_ptr<Loader> L;
+};
 
-AppResult harness::runApp(Workload &W, const MachineConfig &Cfg,
-                          const DaeOptions *OptsOverride) {
-  AppResult R;
-  R.Name = W.Name;
-
+PreparedApp prepareApp(Workload &W, const DaeOptions *OptsOverride,
+                       GenerationMemo *Memo) {
+  PreparedApp P;
+  P.W = &W;
   const DaeOptions &Opts = OptsOverride ? *OptsOverride : W.Opts;
-
-  // Distinct task functions, in first-use order.
-  std::vector<const ir::Function *> TaskFns;
-  for (const Task &T : W.Tasks)
-    if (std::find(TaskFns.begin(), TaskFns.end(), T.Execute) == TaskFns.end())
-      TaskFns.push_back(T.Execute);
 
   // Generate the Auto DAE access phase per task function. Generation
   // optimizes the task body first (shared by all schemes).
   std::map<const ir::Function *, const ir::Function *> AutoAccess;
-  unsigned AffineLoops = 0, TotalLoops = 0;
-  for (const ir::Function *F : TaskFns) {
-    AccessPhaseResult G = generateAccessPhase(
-        *W.M, *const_cast<ir::Function *>(F), Opts);
+  for (ir::Function *F : W.taskFunctions()) {
+    AccessPhaseResult G = Memo ? Memo->generate(*W.M, *F, Opts)
+                               : generateAccessPhase(*W.M, *F, Opts);
     if (G.AccessFn)
       AutoAccess[F] = G.AccessFn;
     analysis::TaskClassification Cls = analysis::classifyTask(*F);
-    AffineLoops += Cls.AffineLoops;
-    TotalLoops += Cls.TotalLoops;
-    R.Generation.push_back(std::move(G));
+    P.AffineLoops += Cls.AffineLoops;
+    P.TotalLoops += Cls.TotalLoops;
+    P.Generation.push_back(std::move(G));
   }
 
   // Build the three task lists.
-  std::vector<Task> CaeTasks = W.Tasks;
-  std::vector<Task> ManualTasks = W.Tasks;
-  std::vector<Task> AutoTasks = W.Tasks;
+  for (auto &List : P.SchemeTasks)
+    List = W.Tasks;
   for (size_t I = 0; I != W.Tasks.size(); ++I) {
-    CaeTasks[I].Access = nullptr;
+    P.SchemeTasks[0][I].Access = nullptr;
     auto MIt = W.ManualAccess.find(W.Tasks[I].Execute);
-    ManualTasks[I].Access = MIt == W.ManualAccess.end() ? nullptr
-                                                        : MIt->second;
+    P.SchemeTasks[1][I].Access =
+        MIt == W.ManualAccess.end() ? nullptr : MIt->second;
     auto AIt = AutoAccess.find(W.Tasks[I].Execute);
-    AutoTasks[I].Access = AIt == AutoAccess.end() ? nullptr : AIt->second;
+    P.SchemeTasks[2][I].Access =
+        AIt == AutoAccess.end() ? nullptr : AIt->second;
   }
 
-  // One simulation per scheme, each on freshly initialized data.
-  Loader L(*W.M);
-  std::vector<std::uint8_t> CaeOut, ManualOut, AutoOut;
-  R.Cae = runScheme(W, CaeTasks, Cfg, L, CaeOut);
-  R.Manual = runScheme(W, ManualTasks, Cfg, L, ManualOut);
-  R.Auto = runScheme(W, AutoTasks, Cfg, L, AutoOut);
-  R.OutputsMatch = CaeOut == ManualOut && CaeOut == AutoOut;
+  P.L = std::make_unique<Loader>(*W.M);
+  return P;
+}
+
+AppResult assembleApp(PreparedApp &P, RunProfile Profiles[3],
+                      std::vector<std::uint8_t> Outputs[3],
+                      const MachineConfig &Cfg) {
+  AppResult R;
+  R.Name = P.W->Name;
+  R.Cae = std::move(Profiles[0]);
+  R.Manual = std::move(Profiles[1]);
+  R.Auto = std::move(Profiles[2]);
+  R.Generation = std::move(P.Generation);
+  R.OutputsMatch = Outputs[0] == Outputs[1] && Outputs[0] == Outputs[2];
+  R.CaeOutputs = std::move(Outputs[0]);
+  R.ManualOutputs = std::move(Outputs[1]);
+  R.AutoOutputs = std::move(Outputs[2]);
 
   // Table 1 row, measured from the Auto DAE profile at the Min/Max policy
   // (access at fmin as in the paper's TA methodology).
-  EvalConfig MinMax;
-  MinMax.Policy = FreqPolicy::Fixed;
-  MinMax.AccessFreqGHz = Cfg.fmin();
-  MinMax.ExecFreqGHz = Cfg.fmax();
-  MinMax.TransitionNs = 0.0;
-  RunReport Rep = evaluate(R.Auto, Cfg, MinMax);
-  R.Row.Name = W.Name;
-  R.Row.AffineLoops = AffineLoops;
-  R.Row.TotalLoops = TotalLoops;
-  R.Row.NumTasks = W.Tasks.size();
+  RunReport Rep = evaluate(R.Auto, Cfg, minMaxConfig(Cfg, 0.0));
+  R.Row.Name = P.W->Name;
+  R.Row.AffineLoops = P.AffineLoops;
+  R.Row.TotalLoops = P.TotalLoops;
+  R.Row.NumTasks = P.W->Tasks.size();
   R.Row.AccessTimePercent = Rep.accessTimeFraction() * 100.0;
   R.Row.AccessTimeUs = Rep.avgAccessUs();
   return R;
+}
+
+} // namespace
+
+AppResult harness::runApp(Workload &W, const MachineConfig &Cfg,
+                          const DaeOptions *OptsOverride,
+                          GenerationMemo *Memo) {
+  PreparedApp P = prepareApp(W, OptsOverride, Memo);
+  RunProfile Profiles[3];
+  std::vector<std::uint8_t> Outputs[3];
+  for (int S = 0; S != 3; ++S)
+    Profiles[S] = runScheme(W, P.SchemeTasks[S], Cfg, *P.L, Outputs[S]);
+  return assembleApp(P, Profiles, Outputs, Cfg);
+}
+
+std::vector<AppResult> harness::runSuite(const std::vector<SuiteItem> &Items,
+                                         const MachineConfig &Cfg,
+                                         const SuiteConfig &SC) {
+  unsigned Requested =
+      SC.SimThreads ? SC.SimThreads : std::max(1u, Cfg.SimThreads);
+  JobPool Pool(SC.Jobs, Requested);
+  MachineConfig JobCfg = Cfg;
+  JobCfg.SimThreads = Pool.simThreadsPerJob();
+
+  struct AppSlot {
+    PreparedApp P;
+    RunProfile Profiles[3];
+    std::vector<std::uint8_t> Outputs[3];
+  };
+  std::vector<AppSlot> Slots(Items.size());
+
+  // One preparation job per app; each fans out its three scheme simulations
+  // as further jobs (private Memory per simulation; the Loader and the
+  // module are shared read-only between them).
+  for (size_t I = 0; I != Items.size(); ++I) {
+    Pool.submit([&Pool, &Slots, &Items, &JobCfg, &SC, I] {
+      AppSlot &S = Slots[I];
+      S.P = prepareApp(*Items[I].W, Items[I].OptsOverride, SC.Memo);
+      for (int Sch = 0; Sch != 3; ++Sch)
+        Pool.submit([&S, &JobCfg, Sch] {
+          S.Profiles[Sch] = runScheme(*S.P.W, S.P.SchemeTasks[Sch], JobCfg,
+                                      *S.P.L, S.Outputs[Sch]);
+        });
+    });
+  }
+  Pool.wait();
+
+  // Assemble in item order, independent of completion order.
+  std::vector<AppResult> Results;
+  Results.reserve(Slots.size());
+  for (AppSlot &S : Slots)
+    Results.push_back(assembleApp(S.P, S.Profiles, S.Outputs, Cfg));
+  return Results;
 }
 
 runtime::RunReport harness::priceCaeMax(const AppResult &R,
                                         const MachineConfig &Cfg,
                                         double TransitionNs) {
   return evaluateCoupled(R.Cae, Cfg, Cfg.fmax(), TransitionNs);
+}
+
+EvalConfig harness::minMaxConfig(const MachineConfig &Cfg,
+                                 double TransitionNs) {
+  EvalConfig MinMax;
+  MinMax.Policy = FreqPolicy::Fixed;
+  MinMax.AccessFreqGHz = Cfg.fmin();
+  MinMax.ExecFreqGHz = Cfg.fmax();
+  MinMax.TransitionNs = TransitionNs;
+  return MinMax;
+}
+
+EvalConfig harness::optimalEdpConfig(double TransitionNs) {
+  EvalConfig Opt;
+  Opt.Policy = FreqPolicy::OptimalEdp;
+  Opt.TransitionNs = TransitionNs;
+  return Opt;
 }
 
 Fig3Row harness::priceFig3(const AppResult &R, const MachineConfig &Cfg,
@@ -134,15 +214,8 @@ Fig3Row harness::priceFig3(const AppResult &R, const MachineConfig &Cfg,
     Out[2] = Rep.EdpJs / Base.EdpJs;
   };
 
-  EvalConfig Opt;
-  Opt.Policy = FreqPolicy::OptimalEdp;
-  Opt.TransitionNs = TransitionNs;
-
-  EvalConfig MinMax;
-  MinMax.Policy = FreqPolicy::Fixed;
-  MinMax.AccessFreqGHz = Cfg.fmin();
-  MinMax.ExecFreqGHz = Cfg.fmax();
-  MinMax.TransitionNs = TransitionNs;
+  EvalConfig Opt = optimalEdpConfig(TransitionNs);
+  EvalConfig MinMax = minMaxConfig(Cfg, TransitionNs);
 
   Fig3Row Row;
   Row.Name = R.Name;
@@ -195,11 +268,8 @@ harness::profileColdLoads(Workload &W, const MachineConfig &Cfg,
   // Match the generator's precondition: tasks are optimized before access
   // phases are derived, so the profiled instruction identities are the ones
   // the skeleton generator will clone.
-  std::set<const ir::Function *> TaskFns;
-  for (const Task &T : W.Tasks)
-    TaskFns.insert(T.Execute);
-  for (const ir::Function *F : TaskFns)
-    passes::optimizeFunction(*const_cast<ir::Function *>(F));
+  for (ir::Function *F : W.taskFunctions())
+    passes::optimizeFunction(*F);
 
   Loader L(*W.M);
   Memory Mem;

@@ -23,12 +23,16 @@
 #include "runtime/Runtime.h"
 #include "workloads/Workload.h"
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace dae {
+
+class GenerationMemo;
+
 namespace harness {
 
 /// Table 1 row for one application.
@@ -57,6 +61,13 @@ struct AppResult {
 
   /// True when CAE, Manual DAE and Auto DAE produced identical outputs.
   bool OutputsMatch = false;
+
+  /// Byte snapshots of the workload's output globals after each scheme
+  /// (little-endian, concatenated in OutputGlobals order). Kept so
+  /// suite-level determinism can be asserted end to end.
+  std::vector<std::uint8_t> CaeOutputs;
+  std::vector<std::uint8_t> ManualOutputs;
+  std::vector<std::uint8_t> AutoOutputs;
 };
 
 /// Figure 3 bars for one application at one transition latency, normalized
@@ -72,9 +83,40 @@ struct Fig3Row {
 };
 
 /// Runs the full pipeline for one workload. \p Opts overrides the workload's
-/// generator options when non-null.
+/// generator options when non-null. When \p Memo is non-null, access-phase
+/// generation goes through it (results are identical either way; see
+/// dae/GenerationMemo.h).
 AppResult runApp(workloads::Workload &W, const sim::MachineConfig &Cfg,
-                 const DaeOptions *OptsOverride = nullptr);
+                 const DaeOptions *OptsOverride = nullptr,
+                 GenerationMemo *Memo = nullptr);
+
+/// One unit of suite work: a workload plus optional per-item generator
+/// options (the ablation drivers pass a different override per variant).
+struct SuiteItem {
+  workloads::Workload *W = nullptr;
+  const DaeOptions *OptsOverride = nullptr;
+};
+
+/// Suite execution parameters.
+struct SuiteConfig {
+  /// Concurrent jobs (--jobs / DAECC_JOBS). 1 = sequential reference.
+  unsigned Jobs = 1;
+  /// Requested sim threads per job; the JobPool clamps the effective value
+  /// so Jobs x threads never oversubscribes the host (see JobPool.h).
+  unsigned SimThreads = 1;
+  /// Shared generation memo; null disables memoization.
+  GenerationMemo *Memo = nullptr;
+};
+
+/// Runs every item through the full per-app pipeline on a JobPool: each app
+/// is prepared (generation) as one job that fans out its three scheme
+/// simulations as further jobs, every simulation with a private Memory,
+/// Loader and TaskRuntime. Results are returned in item order regardless of
+/// completion order and are bit-identical to a sequential runApp loop for
+/// every (Jobs, SimThreads) combination.
+std::vector<AppResult> runSuite(const std::vector<SuiteItem> &Items,
+                                const sim::MachineConfig &Cfg,
+                                const SuiteConfig &SC);
 
 /// Prices the Figure 3 configurations from \p R at \p TransitionNs.
 Fig3Row priceFig3(const AppResult &R, const sim::MachineConfig &Cfg,
@@ -96,6 +138,13 @@ std::vector<Fig4Point> priceFig4(const AppResult &R,
 runtime::RunReport priceCaeMax(const AppResult &R,
                                const sim::MachineConfig &Cfg,
                                double TransitionNs);
+
+/// The naive Min/Max policy: access phases at fmin, execute at fmax.
+runtime::EvalConfig minMaxConfig(const sim::MachineConfig &Cfg,
+                                 double TransitionNs);
+
+/// The paper's per-phase Optimal-EDP search (section 3.1 policy (b)).
+runtime::EvalConfig optimalEdpConfig(double TransitionNs);
 
 /// Profile-guided selective prefetching (the paper's proposed refinement,
 /// sections 5.2.2/6.2.3): optimizes the workload's task functions, runs one

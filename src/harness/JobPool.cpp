@@ -1,0 +1,98 @@
+//===- harness/JobPool.cpp - Suite-level job pool --------------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/JobPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace dae;
+using namespace dae::harness;
+
+unsigned JobPool::hostThreadBudget() {
+  if (const char *Env = std::getenv("DAECC_HOST_THREADS")) {
+    int V = std::atoi(Env);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+JobPool::JobPool(unsigned Jobs, unsigned SimThreadsPerJob)
+    : NumJobs(std::max(1u, Jobs)),
+      SimThreads(std::max(1u, SimThreadsPerJob)) {
+  if (NumJobs > 1) {
+    // Shared budget: never let Jobs * SimThreads exceed the host, but always
+    // grant each job at least one thread (jobs themselves are the coarser
+    // and better-scaling axis, so they win ties).
+    unsigned Budget = std::max(NumJobs, hostThreadBudget());
+    SimThreads = std::clamp(Budget / NumJobs, 1u, SimThreads);
+    Workers.reserve(NumJobs);
+    for (unsigned I = 0; I != NumJobs; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+}
+
+JobPool::~JobPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Quit = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void JobPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Job));
+  }
+  WorkAvailable.notify_one();
+}
+
+void JobPool::wait() {
+  if (Workers.empty()) {
+    // Sequential mode: drain inline. Jobs may enqueue more jobs; FIFO order
+    // makes this the canonical sequential reference.
+    for (;;) {
+      std::function<void()> Job;
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (Queue.empty())
+          return;
+        Job = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Job();
+    }
+  }
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllIdle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+void JobPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this] { return Quit || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Quit and drained.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+      ++Running;
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Running;
+      if (Queue.empty() && Running == 0)
+        AllIdle.notify_all();
+    }
+  }
+}

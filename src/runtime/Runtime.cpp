@@ -264,8 +264,10 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
       Interpreter &Interp = *Interps[Worker];
       if (RunAccess && T.Access) {
         R.HasAccess = true;
+        R.AccessTr.acquireFrom(TracePool::global());
         R.Access = Interp.runTraced(*T.Access, T.Args, R.AccessTr);
       }
+      R.ExecTr.acquireFrom(TracePool::global());
       R.Execute = Interp.runTraced(*T.Execute, T.Args, R.ExecTr);
     });
 
@@ -309,11 +311,11 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
         TP.HasAccess = true;
         TP.Access = R.Access;
         replayTrace(R.AccessTr, Caches, Core, Cfg, TP.Access);
-        R.AccessTr.release();
+        R.AccessTr.releaseTo(TracePool::global());
       }
       TP.Execute = R.Execute;
       replayTrace(R.ExecTr, Caches, Core, Cfg, TP.Execute);
-      R.ExecTr.release();
+      R.ExecTr.releaseTo(TracePool::global());
 
       CoreTimeNs[Core] += TP.Access.timeNs(Cfg.fmax()) +
                           TP.Execute.timeNs(Cfg.fmax()) +

@@ -20,10 +20,58 @@
 
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace dae {
 namespace sim {
+
+/// Free-list of trace storage buffers, shared across tasks, waves and
+/// concurrently running simulations. Traces are bulky and short-lived (one
+/// wave each); recycling their grown capacity removes the per-wave
+/// allocation churn that shows up once suite jobs run concurrently. Purely
+/// a storage cache: trace *contents* never cross users, so simulated
+/// results are unaffected.
+class TracePool {
+public:
+  /// Process-wide pool (suite jobs in one process share one allocator
+  /// anyway, so they share one free-list too).
+  static TracePool &global() {
+    static TracePool Pool;
+    return Pool;
+  }
+
+  /// Returns an empty buffer, reusing pooled capacity when available.
+  std::vector<std::uint64_t> acquire() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Free.empty())
+      return {};
+    std::vector<std::uint64_t> Buf = std::move(Free.back());
+    Free.pop_back();
+    ++Reuses;
+    return Buf;
+  }
+
+  /// Takes \p Buf back (cleared, capacity kept). Beyond MaxPooled buffers
+  /// the storage is simply freed.
+  void recycle(std::vector<std::uint64_t> Buf) {
+    Buf.clear();
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Free.size() < MaxPooled)
+      Free.push_back(std::move(Buf));
+  }
+
+  std::uint64_t reuses() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Reuses;
+  }
+
+private:
+  static constexpr std::size_t MaxPooled = 256;
+  mutable std::mutex Mutex;
+  std::vector<std::vector<std::uint64_t>> Free;
+  std::uint64_t Reuses = 0;
+};
 
 /// One phase's memory accesses, packed one event per 64-bit word: the access
 /// kind in the top two bits, the byte address below. Simulated addresses come
@@ -53,6 +101,14 @@ public:
   /// Releases the storage (traces are bulky; the runtime frees each one right
   /// after its replay).
   void release() { std::vector<std::uint64_t>().swap(Events); }
+
+  /// Adopts pooled storage from \p Pool before recording begins.
+  void acquireFrom(TracePool &Pool) { Events = Pool.acquire(); }
+  /// Hands the storage back to \p Pool (replaces release() on hot paths).
+  void releaseTo(TracePool &Pool) {
+    Pool.recycle(std::move(Events));
+    Events.clear();
+  }
 
 private:
   std::vector<std::uint64_t> Events;

@@ -99,6 +99,7 @@ std::unique_ptr<Workload> workloads::buildCg(Scale S) {
   }
 
   W->ManualAccess = {{SpMV, SpMVAccess}};
+  W->TaskFunctions = {SpMV};
 
   // --- Task list: per iteration one spmv wave + one scale wave -------------
   auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };

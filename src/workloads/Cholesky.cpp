@@ -209,6 +209,7 @@ std::unique_ptr<Workload> workloads::buildCholesky(Scale S) {
 
   W->ManualAccess = {
       {Diag, DiagAccess}, {Panel, PanelAccess}, {Upd, UpdAccess}};
+  W->TaskFunctions = {Diag, Panel, Upd};
 
   // --- Task list (lower-triangular block sweep) ---------------------------
   const std::int64_t NB = N / BS;

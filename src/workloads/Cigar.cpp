@@ -103,6 +103,7 @@ std::unique_ptr<Workload> workloads::buildCigar(Scale S) {
   }
 
   W->ManualAccess = {{Eval, EvalAccess}};
+  W->TaskFunctions = {Eval};
 
   // --- Task list: two evaluation passes over shuffled slices ---------------
   auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };

@@ -181,6 +181,7 @@ std::unique_ptr<Workload> workloads::buildFft(Scale S) {
   }
 
   W->ManualAccess = {{Stage, StageAccess}, {Reverse, ReverseAccess}};
+  W->TaskFunctions = {Reverse, Stage};
 
   // --- Task list: bit-reverse wave, then one wave per stage ----------------
   auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };

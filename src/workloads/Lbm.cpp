@@ -158,6 +158,7 @@ std::unique_ptr<Workload> workloads::buildLbm(Scale S) {
   }
 
   W->ManualAccess = {{Sweep, SweepAccess}};
+  W->TaskFunctions = {Sweep};
 
   // --- Task list: bands per sweep, ping-pong between sweeps ----------------
   auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };

@@ -136,6 +136,7 @@ std::unique_ptr<Workload> workloads::buildLibQuantum(Scale S) {
   Function *PhaseAccess = MakeLineAccess("libq_phase.manual", 3);
 
   W->ManualAccess = {{Gate, GateAccess}, {Phase, PhaseAccess}};
+  W->TaskFunctions = {Gate, Phase};
 
   // --- Task list: a small circuit, chunked; one wave per gate --------------
   auto I64 = [](std::int64_t V) { return sim::RuntimeValue::ofInt(V); };

@@ -268,6 +268,7 @@ std::unique_ptr<Workload> workloads::buildLu(Scale S) {
                      {Row, RowAccess},
                      {Col, ColAccess},
                      {Upd, UpdAccess}};
+  W->TaskFunctions = {Diag, Row, Col, Upd};
 
   // --- Dynamic task list (waves encode the factorization order) ----------
   const std::int64_t NB = N / BS;

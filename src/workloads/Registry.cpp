@@ -7,9 +7,26 @@
 #include "workloads/Workload.h"
 
 #include <cassert>
+#include <unordered_set>
 
 using namespace dae;
 using namespace dae::workloads;
+
+std::vector<ir::Function *> Workload::taskFunctions() const {
+  if (!TaskFunctions.empty())
+    return TaskFunctions;
+  // Hand-built workload: derive the distinct functions from the task list,
+  // resolving through the module so the result is mutable.
+  std::vector<ir::Function *> Fns;
+  std::unordered_set<const ir::Function *> Seen;
+  for (const runtime::Task &T : Tasks)
+    if (Seen.insert(T.Execute).second) {
+      ir::Function *F = M->getFunction(T.Execute->getName());
+      assert(F == T.Execute && "task function not registered in module");
+      Fns.push_back(F);
+    }
+  return Fns;
+}
 
 std::vector<std::unique_ptr<Workload>> workloads::buildAll(Scale S) {
   std::vector<std::unique_ptr<Workload>> All;

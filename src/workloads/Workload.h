@@ -42,6 +42,17 @@ struct Workload {
   /// harness).
   std::vector<runtime::Task> Tasks;
 
+  /// The distinct task functions behind Tasks, in first-use order. Builders
+  /// populate this so the harness can hand mutable functions to the access
+  /// generator (generation optimizes the task body in place) without a
+  /// const_cast; taskFunctions() derives it on demand for hand-built
+  /// workloads.
+  std::vector<ir::Function *> TaskFunctions;
+
+  /// TaskFunctions, computed from Tasks (via the module, for mutability)
+  /// when the builder did not fill it in.
+  std::vector<ir::Function *> taskFunctions() const;
+
   /// Expert-written access phase per task function (section 6.2's Manual
   /// DAE), already registered in the module.
   std::map<const ir::Function *, const ir::Function *> ManualAccess;

@@ -10,12 +10,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dae/GenerationMemo.h"
 #include "harness/Harness.h"
 #include "ir/IRBuilder.h"
 #include "runtime/Runtime.h"
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
 
 using namespace dae;
 using namespace dae::ir;
@@ -154,5 +158,61 @@ TEST_P(WorkloadDeterminismTest, FourThreadsMatchOne) {
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDeterminismTest,
                          ::testing::Values("lu", "cholesky", "fft", "lbm",
                                            "libq", "cigar", "cg"));
+
+/// Suite-level: the full Figure 3 pipeline over all seven apps on the job
+/// pool (--jobs=4 --sim-threads=2, shared generation memo) must be
+/// bit-identical to the sequential reference (--jobs=1 --sim-threads=1, no
+/// memo): profiles, Table 1 rows, priced Figure 3 rows, and the raw output
+/// snapshots of every scheme.
+TEST(SuiteDeterminismTest, JobPoolMatchesSequentialReference) {
+  auto RunAt = [](unsigned Jobs, unsigned Threads, bool UseMemo) {
+    MachineConfig Cfg;
+    Cfg.SimThreads = Threads;
+    auto Ws = workloads::buildAll(workloads::Scale::Test);
+    std::vector<harness::SuiteItem> Items;
+    for (auto &W : Ws)
+      Items.push_back({W.get(), nullptr});
+    GenerationMemo Memo;
+    harness::SuiteConfig SC;
+    SC.Jobs = Jobs;
+    SC.SimThreads = Threads;
+    SC.Memo = UseMemo ? &Memo : nullptr;
+    return harness::runSuite(Items, Cfg, SC);
+  };
+  std::vector<harness::AppResult> Seq = RunAt(1, 1, false);
+  std::vector<harness::AppResult> Par = RunAt(4, 2, true);
+
+  ASSERT_EQ(Seq.size(), Par.size());
+  MachineConfig Cfg;
+  for (size_t I = 0; I != Seq.size(); ++I) {
+    const harness::AppResult &A = Seq[I];
+    const harness::AppResult &B = Par[I];
+    EXPECT_EQ(A.Name, B.Name) << "suite order must follow item order";
+    EXPECT_TRUE(A.OutputsMatch) << A.Name;
+    EXPECT_TRUE(B.OutputsMatch) << B.Name;
+    expectProfilesEqual(A.Cae, B.Cae);
+    expectProfilesEqual(A.Manual, B.Manual);
+    expectProfilesEqual(A.Auto, B.Auto);
+    EXPECT_EQ(A.CaeOutputs, B.CaeOutputs) << A.Name;
+    EXPECT_EQ(A.ManualOutputs, B.ManualOutputs) << A.Name;
+    EXPECT_EQ(A.AutoOutputs, B.AutoOutputs) << A.Name;
+    EXPECT_EQ(A.Row.AffineLoops, B.Row.AffineLoops) << A.Name;
+    EXPECT_EQ(A.Row.TotalLoops, B.Row.TotalLoops) << A.Name;
+    EXPECT_EQ(A.Row.NumTasks, B.Row.NumTasks) << A.Name;
+    EXPECT_EQ(A.Row.AccessTimePercent, B.Row.AccessTimePercent) << A.Name;
+    EXPECT_EQ(A.Row.AccessTimeUs, B.Row.AccessTimeUs) << A.Name;
+    for (double Latency : {500.0, 0.0}) {
+      harness::Fig3Row RA = harness::priceFig3(A, Cfg, Latency);
+      harness::Fig3Row RB = harness::priceFig3(B, Cfg, Latency);
+      for (int M = 0; M != 3; ++M) {
+        EXPECT_EQ(RA.CaeOpt[M], RB.CaeOpt[M]) << A.Name;
+        EXPECT_EQ(RA.ManualMinMax[M], RB.ManualMinMax[M]) << A.Name;
+        EXPECT_EQ(RA.ManualOpt[M], RB.ManualOpt[M]) << A.Name;
+        EXPECT_EQ(RA.AutoMinMax[M], RB.AutoMinMax[M]) << A.Name;
+        EXPECT_EQ(RA.AutoOpt[M], RB.AutoOpt[M]) << A.Name;
+      }
+    }
+  }
+}
 
 } // namespace
