@@ -17,6 +17,7 @@
 #ifndef DAECC_BENCH_BENCHUTIL_H
 #define DAECC_BENCH_BENCHUTIL_H
 
+#include "pm/Instrumentation.h"
 #include "runtime/Task.h"
 #include "workloads/Workload.h"
 
@@ -74,6 +75,24 @@ inline unsigned jobsFromArgs(int Argc, char **Argv) {
   return 1u;
 }
 
+/// Compilation-pipeline switches shared by the drivers: `--verify-each` and
+/// `--print-after-all` flip pm::config() (same effect as DAECC_VERIFY_EACH=1
+/// / DAECC_PRINT_AFTER_ALL=1); returns true when `--pass-stats` was given,
+/// in which case the driver prints pm::PipelineStats before exiting. The
+/// per-pass timing block goes into BENCH_<name>.json unconditionally.
+inline bool pipelineFlagsFromArgs(int Argc, char **Argv) {
+  bool PassStats = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--verify-each") == 0)
+      pm::config().VerifyEach = true;
+    else if (std::strcmp(Argv[I], "--print-after-all") == 0)
+      pm::config().PrintAfterAll = true;
+    else if (std::strcmp(Argv[I], "--pass-stats") == 0)
+      PassStats = true;
+  }
+  return PassStats;
+}
+
 inline void printRule(int Width = 78) {
   for (int I = 0; I != Width; ++I)
     std::putchar('-');
@@ -106,6 +125,12 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 ///                                     baseline was not measured
 ///   speedup_vs_jobs1          double  baseline_jobs1_seconds /
 ///                                     wall_seconds; -1 when not measured
+///   pass_stats                object  compilation-pipeline instrumentation
+///                                     (pm::PipelineStats): per-pass runs /
+///                                     changed / wall_seconds and
+///                                     per-analysis computes / cache_hits /
+///                                     wall_seconds — where generation time
+///                                     goes across the suite's jobs
 ///   failures                  int     apps whose schemes disagreed (or
 ///                                     otherwise failed)
 ///   status                    string  "started" while running, then "ok"
@@ -173,13 +198,14 @@ private:
                    "  \"sim_instructions_per_sec\": %.1f,\n"
                    "  \"baseline_jobs1_seconds\": %.6f,\n"
                    "  \"speedup_vs_jobs1\": %.3f,\n"
+                   "  \"pass_stats\": %s,\n"
                    "  \"failures\": %u,\n"
                    "  \"status\": \"%s\"\n"
                    "}\n",
                    Name.c_str(), Jobs, SimThreads, Seconds,
                    static_cast<unsigned long long>(Instructions), Ips,
                    BaselineSeconds > 0.0 ? BaselineSeconds : -1.0, Speedup,
-                   Failures, Status);
+                   pm::PipelineStats::get().json().c_str(), Failures, Status);
       std::fclose(F);
     }
   }

@@ -40,6 +40,7 @@ int main(int Argc, char **Argv) {
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
+  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
 
   DaeOptions Base; // Paper defaults.
   DaeOptions Range = Base;
@@ -119,5 +120,7 @@ int main(int Argc, char **Argv) {
   std::printf("(expected: memory-range scans far more than it needs — "
               "Figure 1(b); guard-off may over-prefetch; per-cache-line "
               "shrinks the access instruction count ~8x)\n");
+  if (PassStats)
+    pm::PipelineStats::get().print(stdout);
   return 0;
 }

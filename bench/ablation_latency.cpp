@@ -30,6 +30,7 @@ int main(int Argc, char **Argv) {
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
+  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
 
   auto Workloads = workloads::buildAll(S);
   std::vector<SuiteItem> Items;
@@ -63,5 +64,7 @@ int main(int Argc, char **Argv) {
   printRule(64);
   std::printf("(paper: 0 ns -> Auto 29%% better EDP; 500 ns -> 25%%, with "
               "~4%% time penalty)\n");
+  if (PassStats)
+    pm::PipelineStats::get().print(stdout);
   return 0;
 }

@@ -30,6 +30,7 @@ int main(int Argc, char **Argv) {
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
+  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
 
   struct Variant {
     const char *Name;
@@ -111,5 +112,7 @@ int main(int Argc, char **Argv) {
   std::printf("(expected: keeping conditionals replicates computation into "
               "the access phase; prefetching writes adds traffic without "
               "helping — the paper's section 5.2.1 finding)\n");
+  if (PassStats)
+    pm::PipelineStats::get().print(stdout);
   return 0;
 }

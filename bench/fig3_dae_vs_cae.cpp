@@ -69,6 +69,7 @@ int main(int Argc, char **Argv) {
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
+  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
   bool MeasureBaseline = Jobs > 1;
   for (int I = 1; I < Argc; ++I)
     if (std::strcmp(Argv[I], "--no-baseline") == 0)
@@ -146,5 +147,7 @@ int main(int Argc, char **Argv) {
   std::printf("\n(paper: 500 ns -> Manual 23%%, Auto 25%%; 0 ns -> Manual "
               "25%%, Auto 29%%)\n");
   Throughput.report();
+  if (PassStats)
+    pm::PipelineStats::get().print(stdout);
   return 0;
 }

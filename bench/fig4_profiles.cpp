@@ -55,6 +55,7 @@ int main(int Argc, char **Argv) {
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
+  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
 
   std::printf("Figure 4: per-frequency runtime & energy profiles "
               "(access at fmin; execute swept fmin->fmax; 500 ns "
@@ -96,5 +97,7 @@ int main(int Argc, char **Argv) {
     }
   }
   Throughput.report();
+  if (PassStats)
+    pm::PipelineStats::get().print(stdout);
   return 0;
 }

@@ -36,6 +36,7 @@ int main(int Argc, char **Argv) {
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
+  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
 
   auto Workloads = workloads::buildAll(S);
   std::vector<SuiteItem> Items;
@@ -69,5 +70,7 @@ int main(int Argc, char **Argv) {
               "FFT 0/6 19.24%% 30.74us |\n LBM 0/1 47.95%% 7.90us | "
               "LibQ 0/6 47.01%% 2.64us | Cigar 0/1 49.27%% 5.11us | "
               "CG 0/2 42.84%% 2.89us)\n");
+  if (PassStats)
+    pm::PipelineStats::get().print(stdout);
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "analysis/LoopInfo.h"
 #include "analysis/ScalarEvolution.h"
+#include "pm/Analyses.h"
 #include "dae/AccessGenerator.h"
 #include "dae/AffineGenerator.h"
 #include "ir/IRBuilder.h"
@@ -102,8 +103,9 @@ void walkThrough(Module &M, Function *Task,
               printFunction(*Task).c_str());
 
   // Show the per-instruction access images the polyhedral stage computes.
-  analysis::LoopInfo LI(*Task);
-  analysis::ScalarEvolution SE(*Task, LI);
+  pm::FunctionAnalysisManager FAM;
+  analysis::ScalarEvolution &SE =
+      FAM.getResult<pm::ScalarEvolutionAnalysis>(*Task);
   std::vector<const Value *> Params;
   for (const auto &Arg : Task->args())
     if (Arg->getType() == Type::Int64)

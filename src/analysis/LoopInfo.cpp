@@ -62,9 +62,9 @@ BasicBlock *Loop::getExitBlock() const {
   return Exit;
 }
 
-LoopInfo::LoopInfo(const Function &F) {
-  DominatorTree DT(F);
+LoopInfo::LoopInfo(const Function &F) : LoopInfo(F, DominatorTree(F)) {}
 
+LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) {
   // Find back edges (Tail -> Header with Header dominating Tail); collect
   // one loop per header, merging bodies of multiple back edges.
   std::map<BasicBlock *, Loop *> HeaderToLoop;

@@ -31,6 +31,7 @@ class BrInst;
 
 namespace analysis {
 
+class DominatorTree;
 class LoopInfo;
 
 /// One natural loop: header + body blocks, nesting links, and (when the loop
@@ -87,6 +88,10 @@ private:
 class LoopInfo {
 public:
   explicit LoopInfo(const ir::Function &F);
+  /// Same, reusing an already-computed dominator tree for \p F (the cached
+  /// one when constructed through pm::LoopAnalysis). No reference to \p DT
+  /// is retained.
+  LoopInfo(const ir::Function &F, const DominatorTree &DT);
 
   const std::vector<std::unique_ptr<Loop>> &loops() const { return AllLoops; }
   const std::vector<Loop *> &topLevelLoops() const { return TopLevel; }

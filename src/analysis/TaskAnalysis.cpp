@@ -12,6 +12,7 @@
 #include "ir/Function.h"
 #include "support/Casting.h"
 
+#include <cassert>
 #include <set>
 
 using namespace dae;
@@ -30,7 +31,8 @@ const char *analysis::taskClassName(TaskClass C) {
   return "?";
 }
 
-bool analysis::addressComputationReadsTaskStores(const Function &F) {
+bool analysis::addressComputationReadsTaskStores(const Function &F,
+                                                 const LoopInfo &LI) {
   // Collect base arrays the task stores to.
   std::set<const Value *> StoredBases;
   for (const auto &BB : F)
@@ -50,7 +52,6 @@ bool analysis::addressComputationReadsTaskStores(const Function &F) {
   // speculative prefetch, a stale in-body branch merely mis-prefetches
   // (and the Simplified-CFG optimization usually removes it anyway) —
   // this is what admits libquantum-style read-test-flip kernels.
-  LoopInfo LI(F);
   std::vector<const Instruction *> Work;
   std::set<const Instruction *> Visited;
   auto Push = [&](const Value *V) {
@@ -93,10 +94,13 @@ bool analysis::addressComputationReadsTaskStores(const Function &F) {
   return false;
 }
 
-TaskClassification analysis::classifyTask(const Function &F) {
+TaskClassification analysis::classifyTask(const Function &F,
+                                          const LoopInfo &LI,
+                                          ScalarEvolution &SE) {
+  assert(&SE.getLoopInfo() == &LI &&
+         "ScalarEvolution must be built on the supplied LoopInfo");
   TaskClassification Result;
 
-  LoopInfo LI(F);
   Result.TotalLoops = static_cast<unsigned>(LI.loops().size());
 
   // Step 1 (section 5.2.2): remaining calls mean the inliner failed.
@@ -110,7 +114,7 @@ TaskClassification analysis::classifyTask(const Function &F) {
 
   // Step 5: address/control computation must not require writes to state
   // visible outside the task.
-  if (addressComputationReadsTaskStores(F)) {
+  if (addressComputationReadsTaskStores(F, LI)) {
     Result.Class = TaskClass::Rejected;
     Result.Reason =
         "address computation reads memory the task writes (external state)";
@@ -119,8 +123,6 @@ TaskClassification analysis::classifyTask(const Function &F) {
 
   // Affinity: every conditional branch is a canonical loop exit test, every
   // loop has affine bounds, and every memory access is affine.
-  ScalarEvolution SE(F, LI);
-
   bool Affine = true;
   std::string Why;
 

@@ -26,6 +26,9 @@ class Function;
 
 namespace analysis {
 
+class LoopInfo;
+class ScalarEvolution;
+
 /// Which access-generation strategy applies to a task.
 enum class TaskClass {
   /// All loops and accesses are affine: polyhedral access generation.
@@ -46,14 +49,18 @@ struct TaskClassification {
   unsigned AffineLoops = 0; ///< Loops handled with the polyhedral approach.
 };
 
-/// Classifies \p F. Expects the inliner to have run; any remaining call
-/// makes the task Rejected (paper section 5.2.2, step 1).
-TaskClassification classifyTask(const ir::Function &F);
+/// Classifies \p F using the caller-provided analyses (\p SE must have been
+/// built on \p LI; the pass/analysis manager in pm/ caches and supplies
+/// both). Expects the inliner to have run; any remaining call makes the
+/// task Rejected (paper section 5.2.2, step 1).
+TaskClassification classifyTask(const ir::Function &F, const LoopInfo &LI,
+                                ScalarEvolution &SE);
 
 /// True if \p F stores to a memory location that address or control-flow
 /// computation may later read (conservative, per base array). This is the
 /// rejection condition of section 5.2.2 step 5.
-bool addressComputationReadsTaskStores(const ir::Function &F);
+bool addressComputationReadsTaskStores(const ir::Function &F,
+                                       const LoopInfo &LI);
 
 } // namespace analysis
 } // namespace dae

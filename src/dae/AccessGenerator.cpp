@@ -10,17 +10,16 @@
 #include "dae/AffineGenerator.h"
 #include "dae/SkeletonGenerator.h"
 #include "ir/Module.h"
-#include "ir/Verifier.h"
 #include "passes/Passes.h"
-
-#include <cassert>
+#include "pm/Analyses.h"
 
 using namespace dae;
 using namespace dae::analysis;
 using namespace dae::ir;
 
 AccessPhaseResult dae::generateAccessPhase(Module &M, Function &Task,
-                                           const DaeOptions &Opts) {
+                                           const DaeOptions &Opts,
+                                           pm::FunctionAnalysisManager &FAM) {
   // One of the two advantages the paper claims for the compiler approach:
   // the access phase is derived from the *optimized* execute code (inlining
   // included), leading to leaner access phases than a programmer starting
@@ -31,14 +30,22 @@ AccessPhaseResult dae::generateAccessPhase(Module &M, Function &Task,
     Result.Notes = "task contains a call that cannot be inlined";
     return Result;
   }
-  passes::optimizeFunction(Task);
-  return generateAccessPhaseForOptimizedTask(M, Task, Opts);
+  passes::optimizeFunction(Task, FAM);
+  return generateAccessPhaseForOptimizedTask(M, Task, Opts, FAM);
+}
+
+AccessPhaseResult dae::generateAccessPhase(Module &M, Function &Task,
+                                           const DaeOptions &Opts) {
+  pm::FunctionAnalysisManager FAM;
+  return generateAccessPhase(M, Task, Opts, FAM);
 }
 
 AccessPhaseResult
 dae::generateAccessPhaseForOptimizedTask(Module &M, Function &Task,
-                                         const DaeOptions &Opts) {
-  TaskClassification Cls = classifyTask(Task);
+                                         const DaeOptions &Opts,
+                                         pm::FunctionAnalysisManager &FAM) {
+  const TaskClassification &Cls =
+      FAM.getResult<pm::TaskClassificationAnalysis>(Task);
   if (Cls.Class == TaskClass::Rejected) {
     AccessPhaseResult Result;
     Result.Strategy = TaskClass::Rejected;
@@ -48,20 +55,18 @@ dae::generateAccessPhaseForOptimizedTask(Module &M, Function &Task,
 
   AccessPhaseResult Result;
   if (Cls.Class == TaskClass::Affine) {
-    Result = generateAffineAccess(M, Task, Opts);
+    Result = generateAffineAccess(M, Task, Opts, FAM);
     if (Result.AccessFn)
-      passes::optimizeFunction(*Result.AccessFn);
+      passes::optimizeFunction(*Result.AccessFn, FAM);
   }
   if (!Result.AccessFn) {
     std::string AffineNote = Result.Notes;
-    Result = generateSkeletonAccess(M, Task, Opts);
+    Result = generateSkeletonAccess(M, Task, Opts, FAM);
     if (!AffineNote.empty())
       Result.Notes += " (affine path declined: " + AffineNote + ")";
   }
 
-  if (Result.AccessFn) {
-    [[maybe_unused]] auto Problems = verifyFunction(*Result.AccessFn);
-    assert(Problems.empty() && "generated access phase fails verification");
-  }
+  if (Result.AccessFn)
+    pm::verifyGenerated(*Result.AccessFn, "access-phase generation");
   return Result;
 }

@@ -19,6 +19,7 @@
 
 #include "analysis/TaskAnalysis.h"
 #include "dae/DaeOptions.h"
+#include "pm/AnalysisManager.h"
 
 #include <string>
 
@@ -93,7 +94,13 @@ struct AccessPhaseResult {
 /// Generates the access phase for \p Task into \p M. Runs the classical
 /// optimizer on the task first (inlining is required; see section 5.2.2
 /// step 1) — the task body itself is the execute phase and is not otherwise
-/// modified.
+/// modified. \p FAM caches the task's analyses across classification and
+/// generation; the harness shares one manager per app-preparation job.
+AccessPhaseResult generateAccessPhase(ir::Module &M, ir::Function &Task,
+                                      const DaeOptions &Opts,
+                                      pm::FunctionAnalysisManager &FAM);
+
+/// Convenience overload with a throwaway analysis cache (tests, examples).
 AccessPhaseResult generateAccessPhase(ir::Module &M, ir::Function &Task,
                                       const DaeOptions &Opts);
 
@@ -101,9 +108,10 @@ AccessPhaseResult generateAccessPhase(ir::Module &M, ir::Function &Task,
 /// for inlinability and optimized (exactly what generateAccessPhase does
 /// first). The generation memo uses this entry so the task is optimized once
 /// for both the content key and any subsequent generation.
-AccessPhaseResult generateAccessPhaseForOptimizedTask(ir::Module &M,
-                                                      ir::Function &Task,
-                                                      const DaeOptions &Opts);
+AccessPhaseResult
+generateAccessPhaseForOptimizedTask(ir::Module &M, ir::Function &Task,
+                                    const DaeOptions &Opts,
+                                    pm::FunctionAnalysisManager &FAM);
 
 } // namespace dae
 

@@ -9,6 +9,7 @@
 #include "analysis/LoopInfo.h"
 #include "analysis/ScalarEvolution.h"
 #include "ir/IRBuilder.h"
+#include "pm/Analyses.h"
 #include "poly/ConvexHull.h"
 #include "support/Casting.h"
 #include "support/Format.h"
@@ -416,12 +417,12 @@ dae::computeAccessImage(const AffineAccess &Acc, ScalarEvolution &SE,
 //===----------------------------------------------------------------------===//
 
 AccessPhaseResult dae::generateAffineAccess(Module &M, Function &Task,
-                                            const DaeOptions &Opts) {
+                                            const DaeOptions &Opts,
+                                            pm::FunctionAnalysisManager &FAM) {
   AccessPhaseResult Result;
   Result.Strategy = TaskClass::Affine;
 
-  LoopInfo LI(Task);
-  ScalarEvolution SE(Task, LI);
+  ScalarEvolution &SE = FAM.getResult<pm::ScalarEvolutionAnalysis>(Task);
   std::vector<const Value *> Params = collectParams(Task);
 
   // Representative parameter values (defaults keep counting bounded).

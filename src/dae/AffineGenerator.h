@@ -35,11 +35,14 @@ class ScalarEvolution;
 struct AffineAccess;
 } // namespace analysis
 
-/// Generates the affine access phase for \p Task. On failure (an access or
-/// bound turns out non-affine, or counting blows the limit) returns a result
-/// with AccessFn == null; the driver then falls back to the skeleton path.
+/// Generates the affine access phase for \p Task, pulling LoopInfo and
+/// ScalarEvolution from \p FAM (cache-hits after classification). On
+/// failure (an access or bound turns out non-affine, or counting blows the
+/// limit) returns a result with AccessFn == null; the driver then falls
+/// back to the skeleton path.
 AccessPhaseResult generateAffineAccess(ir::Module &M, ir::Function &Task,
-                                       const DaeOptions &Opts);
+                                       const DaeOptions &Opts,
+                                       pm::FunctionAnalysisManager &FAM);
 
 /// Exposed for unit tests: the image of \p Acc's iteration domain in array
 /// index space, over variables [0, D) = array indices and [D, D+M) = the

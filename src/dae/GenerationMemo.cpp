@@ -13,6 +13,7 @@
 #include "ir/Module.h"
 #include "ir/Printer.h"
 #include "passes/Passes.h"
+#include "pm/Analyses.h"
 #include "support/Casting.h"
 
 using namespace dae;
@@ -20,11 +21,12 @@ using namespace dae::ir;
 
 namespace {
 
-/// Task content key: printed optimized body plus referenced globals with
-/// their sizes (the print carries names only, but generation depends on the
-/// extents through GEP shapes and the loader layout).
-std::string taskFingerprint(Function &Task) {
-  std::string Key = printFunction(Task);
+/// Task content key: printed optimized body (the pipeline's cached print)
+/// plus referenced globals with their sizes (the print carries names only,
+/// but generation depends on the extents through GEP shapes and the loader
+/// layout).
+std::string taskFingerprint(Function &Task, const std::string &Printed) {
+  std::string Key = Printed;
   std::map<std::string, std::uint64_t> Globals;
   for (const auto &BB : Task)
     for (const auto &I : *BB)
@@ -139,6 +141,13 @@ bool GenerationMemo::OptionsPattern::matches(const DaeOptions &O,
 
 AccessPhaseResult GenerationMemo::generate(Module &M, Function &Task,
                                            const DaeOptions &Opts) {
+  pm::FunctionAnalysisManager FAM;
+  return generate(M, Task, Opts, FAM);
+}
+
+AccessPhaseResult GenerationMemo::generate(Module &M, Function &Task,
+                                           const DaeOptions &Opts,
+                                           pm::FunctionAnalysisManager &FAM) {
   if (!passes::allCallsInlinable(Task)) {
     AccessPhaseResult R;
     R.Strategy = analysis::TaskClass::Rejected;
@@ -147,9 +156,10 @@ AccessPhaseResult GenerationMemo::generate(Module &M, Function &Task,
     ++Counters.Rejections;
     return R;
   }
-  passes::optimizeFunction(Task);
+  passes::optimizeFunction(Task, FAM);
 
-  const std::string Fp = taskFingerprint(Task);
+  const std::string Fp =
+      taskFingerprint(Task, FAM.getResult<pm::FunctionPrintAnalysis>(Task));
   const std::string ColdFp = coldFingerprint(Task, Opts);
   const std::string RepFp = repFingerprint(Task, Opts);
 
@@ -161,14 +171,17 @@ AccessPhaseResult GenerationMemo::generate(Module &M, Function &Task,
         if (E.Pattern.matches(Opts, ColdFp, RepFp)) {
           ++Counters.Hits;
           AccessPhaseResult R = E.Cached;
-          if (E.Cached.AccessFn)
+          if (E.Cached.AccessFn) {
             R.AccessFn = transplantFunction(*E.Cached.AccessFn, M,
                                             Task.getName() + ".access");
+            pm::verifyGenerated(*R.AccessFn, "memo transplant");
+          }
           return R;
         }
   }
 
-  AccessPhaseResult R = generateAccessPhaseForOptimizedTask(M, Task, Opts);
+  AccessPhaseResult R =
+      generateAccessPhaseForOptimizedTask(M, Task, Opts, FAM);
   if (R.Strategy == analysis::TaskClass::Rejected) {
     // Rejection reasons are classification facts, not knob decisions; the
     // classification is cheap, so rejected tasks are not cached.
@@ -183,7 +196,8 @@ AccessPhaseResult GenerationMemo::generate(Module &M, Function &Task,
   E.Pattern.ColdFp = ColdFp;
   E.Pattern.RepFp = RepFp;
   E.Pattern.AffineEngaged =
-      analysis::classifyTask(Task).Class == analysis::TaskClass::Affine;
+      FAM.getResult<pm::TaskClassificationAnalysis>(Task).Class ==
+      analysis::TaskClass::Affine;
   E.Pattern.SkeletonEngaged = R.Trace.SkeletonRan;
   E.Pattern.GuardExact = R.Trace.AffineRan;
   E.Pattern.Guards = R.Trace.Guards;

@@ -54,11 +54,18 @@ public:
   GenerationMemo &operator=(const GenerationMemo &) = delete;
   ~GenerationMemo();
 
-  /// Drop-in replacement for generateAccessPhase(M, Task, Opts): optimizes
-  /// \p Task, then either transplants a cached access phase into \p M or
-  /// generates (and caches) a fresh one. Results are identical to the
-  /// unmemoized path by construction: a cached entry is only reused when
-  /// every knob the original generation consulted matches.
+  /// Drop-in replacement for generateAccessPhase(M, Task, Opts, FAM):
+  /// optimizes \p Task, then either transplants a cached access phase into
+  /// \p M or generates (and caches) a fresh one. Results are identical to
+  /// the unmemoized path by construction: a cached entry is only reused
+  /// when every knob the original generation consulted matches. The task
+  /// fingerprint reuses \p FAM's cached print of the optimized body, so
+  /// memoized and unmemoized paths share one optimization + print.
+  AccessPhaseResult generate(ir::Module &M, ir::Function &Task,
+                             const DaeOptions &Opts,
+                             pm::FunctionAnalysisManager &FAM);
+
+  /// Convenience overload with a throwaway analysis cache.
   AccessPhaseResult generate(ir::Module &M, ir::Function &Task,
                              const DaeOptions &Opts);
 

@@ -11,6 +11,7 @@
 #include "ir/Cloner.h"
 #include "ir/Module.h"
 #include "passes/Passes.h"
+#include "pm/Analyses.h"
 #include "support/Casting.h"
 
 #include <set>
@@ -47,14 +48,16 @@ Value *pickSafeIncoming(PhiInst *Phi, BasicBlock *BB,
 
 /// Returns the number of conditionals rewritten (for the generation memo's
 /// knob-relevance trace).
-unsigned simplifyControlFlow(Function &F) {
+unsigned simplifyControlFlow(Function &F, pm::FunctionAnalysisManager &FAM) {
   unsigned Rewritten = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
-    LoopInfo LI(F);
-    PostDominatorTree PDT(F);
-    DominatorTree DT(F);
+    // Pulled once per sweep; the rewrites below work against this snapshot
+    // and the cache is invalidated at the end of a changing sweep.
+    const LoopInfo &LI = FAM.getResult<pm::LoopAnalysis>(F);
+    const PostDominatorTree &PDT = FAM.getResult<pm::PostDominatorsAnalysis>(F);
+    const DominatorTree &DT = FAM.getResult<pm::DominatorsAnalysis>(F);
     for (const auto &BB : F) {
       auto *Br = dyn_cast_if_present<BrInst>(BB->getTerminator());
       if (!Br || !Br->isConditional())
@@ -110,6 +113,7 @@ unsigned simplifyControlFlow(Function &F) {
       Changed = true;
     }
     if (Changed) {
+      FAM.invalidate(F, pm::PreservedAnalyses::none());
       passes::runSimplifyCFG(F);
       passes::runDCE(F);
     }
@@ -120,8 +124,9 @@ unsigned simplifyControlFlow(Function &F) {
 /// Counts conditional branches inside loop bodies that are not loop exit
 /// tests — the candidates simplifyControlFlow would consider. Zero means the
 /// SimplifyCfg knob cannot affect this task.
-unsigned countLoopConditionals(Function &F) {
-  LoopInfo LI(F);
+unsigned countLoopConditionals(Function &F,
+                               pm::FunctionAnalysisManager &FAM) {
+  const LoopInfo &LI = FAM.getResult<pm::LoopAnalysis>(F);
   unsigned Candidates = 0;
   for (const auto &BB : F) {
     auto *Br = dyn_cast_if_present<BrInst>(BB->getTerminator());
@@ -140,7 +145,8 @@ unsigned countLoopConditionals(Function &F) {
 } // namespace
 
 AccessPhaseResult dae::generateSkeletonAccess(Module &M, Function &Task,
-                                              const DaeOptions &Opts) {
+                                              const DaeOptions &Opts,
+                                              pm::FunctionAnalysisManager &FAM) {
   AccessPhaseResult Result;
   Result.Strategy = TaskClass::Skeleton;
 
@@ -200,9 +206,9 @@ AccessPhaseResult dae::generateSkeletonAccess(Module &M, Function &Task,
     St->getParent()->erase(St);
   Stores.clear();
   Result.Trace.SkeletonRan = true;
-  Result.Trace.CondCandidates = countLoopConditionals(*Clone);
+  Result.Trace.CondCandidates = countLoopConditionals(*Clone, FAM);
   if (Opts.SimplifyCfg)
-    Result.Trace.CondsRewritten = simplifyControlFlow(*Clone);
+    Result.Trace.CondsRewritten = simplifyControlFlow(*Clone, FAM);
 
   // Step 5: mark address computation and loop control flow by walking the
   // use-def chains from the prefetches and terminators.
@@ -245,11 +251,12 @@ AccessPhaseResult dae::generateSkeletonAccess(Module &M, Function &Task,
     }
   }
 
-  // Finally: "-O3" cleanup plus dead-loop removal for loops whose entire
-  // body was discarded.
-  passes::optimizeFunction(*Clone);
-  passes::runLoopDeletion(*Clone);
-  passes::optimizeFunction(*Clone);
+  // Finally: "-O3" cleanup interleaved with dead-loop removal for loops
+  // whose entire body was discarded, iterated to a declared fixpoint (one
+  // pipeline instead of the historical optimize/delete-loops/optimize
+  // sequence). The marking above mutated the clone behind the cache.
+  FAM.invalidate(*Clone, pm::PreservedAnalyses::none());
+  passes::buildAccessCleanupPipeline()->run(*Clone, FAM);
 
   Result.AccessFn = M.addFunction(std::move(CloneOwner));
   Result.Notes = "skeleton access phase";

@@ -20,10 +20,13 @@
 
 namespace dae {
 
-/// Generates the skeleton access phase for \p Task. Returns a null AccessFn
-/// with a reason in Notes when the safety conditions fail.
+/// Generates the skeleton access phase for \p Task. The clone's analyses
+/// (LoopInfo, dominators, post-dominators) are cached in \p FAM across the
+/// CFG-simplification sweeps. Returns a null AccessFn with a reason in
+/// Notes when the safety conditions fail.
 AccessPhaseResult generateSkeletonAccess(ir::Module &M, ir::Function &Task,
-                                         const DaeOptions &Opts);
+                                         const DaeOptions &Opts,
+                                         pm::FunctionAnalysisManager &FAM);
 
 } // namespace dae
 

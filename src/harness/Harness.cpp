@@ -12,6 +12,7 @@
 #include "ir/Function.h"
 #include "ir/Module.h"
 #include "passes/Passes.h"
+#include "pm/Analyses.h"
 #include "sim/Interpreter.h"
 
 #include <cassert>
@@ -72,14 +73,18 @@ PreparedApp prepareApp(Workload &W, const DaeOptions *OptsOverride,
   const DaeOptions &Opts = OptsOverride ? *OptsOverride : W.Opts;
 
   // Generate the Auto DAE access phase per task function. Generation
-  // optimizes the task body first (shared by all schemes).
+  // optimizes the task body first (shared by all schemes). One analysis
+  // cache serves the whole app: classification computed during generation
+  // is reused for the Table 1 loop counts below.
+  pm::FunctionAnalysisManager FAM;
   std::map<const ir::Function *, const ir::Function *> AutoAccess;
   for (ir::Function *F : W.taskFunctions()) {
-    AccessPhaseResult G = Memo ? Memo->generate(*W.M, *F, Opts)
-                               : generateAccessPhase(*W.M, *F, Opts);
+    AccessPhaseResult G = Memo ? Memo->generate(*W.M, *F, Opts, FAM)
+                               : generateAccessPhase(*W.M, *F, Opts, FAM);
     if (G.AccessFn)
       AutoAccess[F] = G.AccessFn;
-    analysis::TaskClassification Cls = analysis::classifyTask(*F);
+    const analysis::TaskClassification &Cls =
+        FAM.getResult<pm::TaskClassificationAnalysis>(*F);
     P.AffineLoops += Cls.AffineLoops;
     P.TotalLoops += Cls.TotalLoops;
     P.Generation.push_back(std::move(G));
@@ -268,8 +273,9 @@ harness::profileColdLoads(Workload &W, const MachineConfig &Cfg,
   // Match the generator's precondition: tasks are optimized before access
   // phases are derived, so the profiled instruction identities are the ones
   // the skeleton generator will clone.
+  pm::FunctionAnalysisManager FAM;
   for (ir::Function *F : W.taskFunctions())
-    passes::optimizeFunction(*F);
+    passes::optimizeFunction(*F, FAM);
 
   Loader L(*W.M);
   Memory Mem;

@@ -187,15 +187,3 @@ bool passes::allCallsInlinable(const Function &F) {
           return false;
   return true;
 }
-
-void passes::optimizeFunction(Function &F) {
-  runInliner(F);
-  bool Changed = true;
-  unsigned Iter = 0;
-  while (Changed && Iter++ < 32) {
-    Changed = false;
-    Changed |= runConstantFolding(F);
-    Changed |= runSimplifyCFG(F);
-    Changed |= runDCE(F);
-  }
-}

@@ -1,0 +1,86 @@
+//===- passes/PassObjects.cpp - pm:: adapters and pipelines ----------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass objects wrapping this directory's free-function passes, plus the
+/// declared pipelines. optimizeFunction — historically a hand-rolled loop in
+/// Inliner.cpp — is now buildO3Pipeline() run through the pass manager, so
+/// every caller shares the instrumentation and the fixpoint logic lives in
+/// exactly one place (pm::FixpointPassManager).
+///
+//===----------------------------------------------------------------------===//
+
+#include "passes/Passes.h"
+
+using namespace dae;
+using namespace dae::passes;
+using pm::PreservedAnalyses;
+
+static PreservedAnalyses fromChanged(bool Changed) {
+  return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
+}
+
+PreservedAnalyses DCEPass::run(ir::Function &F,
+                               pm::FunctionAnalysisManager &) {
+  return fromChanged(runDCE(F));
+}
+
+PreservedAnalyses ConstantFoldingPass::run(ir::Function &F,
+                                           pm::FunctionAnalysisManager &) {
+  return fromChanged(runConstantFolding(F));
+}
+
+PreservedAnalyses SimplifyCFGPass::run(ir::Function &F,
+                                       pm::FunctionAnalysisManager &) {
+  return fromChanged(runSimplifyCFG(F));
+}
+
+PreservedAnalyses InlinerPass::run(ir::Function &F,
+                                   pm::FunctionAnalysisManager &) {
+  return fromChanged(runInliner(F) > 0);
+}
+
+PreservedAnalyses LoopDeletionPass::run(ir::Function &F,
+                                        pm::FunctionAnalysisManager &) {
+  return fromChanged(runLoopDeletion(F));
+}
+
+/// {constant fold, simplify CFG, DCE} to a fixpoint — the cleanup core both
+/// pipelines share.
+static std::unique_ptr<pm::FixpointPassManager> buildCleanupFixpoint() {
+  auto Fix = std::make_unique<pm::FixpointPassManager>("o3.fixpoint");
+  Fix->add<ConstantFoldingPass>();
+  Fix->add<SimplifyCFGPass>();
+  Fix->add<DCEPass>();
+  return Fix;
+}
+
+std::unique_ptr<pm::PassManager> passes::buildO3Pipeline() {
+  auto PM = std::make_unique<pm::PassManager>("o3");
+  PM->add<InlinerPass>();
+  PM->addPass(buildCleanupFixpoint());
+  return PM;
+}
+
+std::unique_ptr<pm::PassManager> passes::buildAccessCleanupPipeline() {
+  // Generated access phases are call-free (the task was fully inlined
+  // before cloning), so the inliner is omitted; dead-loop deletion exposes
+  // more cleanup and vice versa, hence the outer fixpoint.
+  auto Outer = std::make_unique<pm::FixpointPassManager>("access.cleanup");
+  Outer->addPass(buildCleanupFixpoint());
+  Outer->add<LoopDeletionPass>();
+  return Outer;
+}
+
+void passes::optimizeFunction(ir::Function &F,
+                              pm::FunctionAnalysisManager &FAM) {
+  buildO3Pipeline()->run(F, FAM);
+}
+
+void passes::optimizeFunction(ir::Function &F) {
+  pm::FunctionAnalysisManager FAM;
+  optimizeFunction(F, FAM);
+}

@@ -18,6 +18,10 @@
 #ifndef DAECC_PASSES_PASSES_H
 #define DAECC_PASSES_PASSES_H
 
+#include "pm/Pass.h"
+
+#include <memory>
+
 namespace dae {
 namespace ir {
 class Function;
@@ -50,8 +54,67 @@ bool allCallsInlinable(const ir::Function &F);
 /// on change.
 bool runLoopDeletion(ir::Function &F);
 
-/// The "-O3" composite: inline, then iterate {constant fold, simplify CFG,
-/// DCE} to a fixpoint.
+//===----------------------------------------------------------------------===//
+// Pass objects (pm:: interface). Thin adapters over the free functions
+// above; the pass manager supplies the shared analysis cache, timing,
+// verify-each, and print-after-all instrumentation.
+//===----------------------------------------------------------------------===//
+
+/// runDCE as a pass.
+class DCEPass : public pm::FunctionPass {
+public:
+  const char *name() const override { return "dce"; }
+  pm::PreservedAnalyses run(ir::Function &F,
+                            pm::FunctionAnalysisManager &FAM) override;
+};
+
+/// runConstantFolding as a pass.
+class ConstantFoldingPass : public pm::FunctionPass {
+public:
+  const char *name() const override { return "constfold"; }
+  pm::PreservedAnalyses run(ir::Function &F,
+                            pm::FunctionAnalysisManager &FAM) override;
+};
+
+/// runSimplifyCFG as a pass.
+class SimplifyCFGPass : public pm::FunctionPass {
+public:
+  const char *name() const override { return "simplifycfg"; }
+  pm::PreservedAnalyses run(ir::Function &F,
+                            pm::FunctionAnalysisManager &FAM) override;
+};
+
+/// runInliner as a pass.
+class InlinerPass : public pm::FunctionPass {
+public:
+  const char *name() const override { return "inliner"; }
+  pm::PreservedAnalyses run(ir::Function &F,
+                            pm::FunctionAnalysisManager &FAM) override;
+};
+
+/// runLoopDeletion as a pass.
+class LoopDeletionPass : public pm::FunctionPass {
+public:
+  const char *name() const override { return "loopdeletion"; }
+  pm::PreservedAnalyses run(ir::Function &F,
+                            pm::FunctionAnalysisManager &FAM) override;
+};
+
+/// The "-O3" composite as a declared pipeline: inline once, then iterate
+/// {constant fold, simplify CFG, DCE} to a fixpoint.
+std::unique_ptr<pm::PassManager> buildO3Pipeline();
+
+/// The access-phase cleanup pipeline: the -O3 fixpoint interleaved with
+/// dead-loop deletion, iterated to an outer fixpoint. Subsumes the
+/// historical "optimize; delete loops; optimize again" sequence of the
+/// skeleton generator.
+std::unique_ptr<pm::PassManager> buildAccessCleanupPipeline();
+
+/// The "-O3" composite: runs buildO3Pipeline over \p F with the caller's
+/// analysis cache (invalidated as the passes report changes).
+void optimizeFunction(ir::Function &F, pm::FunctionAnalysisManager &FAM);
+
+/// Convenience overload with a throwaway analysis cache.
 void optimizeFunction(ir::Function &F);
 
 } // namespace passes

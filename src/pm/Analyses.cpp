@@ -1,0 +1,46 @@
+//===- pm/Analyses.cpp - Concrete analysis registrations -------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pm/Analyses.h"
+
+#include "ir/Function.h"
+#include "ir/Printer.h"
+
+using namespace dae;
+using namespace dae::pm;
+
+DominatorsAnalysis::Result
+DominatorsAnalysis::run(ir::Function &F, FunctionAnalysisManager &) {
+  return analysis::DominatorTree(F);
+}
+
+PostDominatorsAnalysis::Result
+PostDominatorsAnalysis::run(ir::Function &F, FunctionAnalysisManager &) {
+  return analysis::PostDominatorTree(F);
+}
+
+LoopAnalysis::Result LoopAnalysis::run(ir::Function &F,
+                                       FunctionAnalysisManager &FAM) {
+  return analysis::LoopInfo(F, FAM.getResult<DominatorsAnalysis>(F));
+}
+
+ScalarEvolutionAnalysis::Result
+ScalarEvolutionAnalysis::run(ir::Function &F, FunctionAnalysisManager &FAM) {
+  return analysis::ScalarEvolution(F, FAM.getResult<LoopAnalysis>(F));
+}
+
+TaskClassificationAnalysis::Result
+TaskClassificationAnalysis::run(ir::Function &F,
+                                FunctionAnalysisManager &FAM) {
+  const analysis::LoopInfo &LI = FAM.getResult<LoopAnalysis>(F);
+  analysis::ScalarEvolution &SE = FAM.getResult<ScalarEvolutionAnalysis>(F);
+  return analysis::classifyTask(F, LI, SE);
+}
+
+FunctionPrintAnalysis::Result
+FunctionPrintAnalysis::run(ir::Function &F, FunctionAnalysisManager &) {
+  return ir::printFunction(F);
+}

@@ -1,0 +1,60 @@
+//===- pm/PassManager.cpp - Pass sequencing and instrumentation ------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pm/Pass.h"
+
+#include "ir/Function.h"
+#include "ir/Printer.h"
+
+#include <chrono>
+
+using namespace dae;
+using namespace dae::pm;
+
+PreservedAnalyses PassManager::runOnce(ir::Function &F,
+                                       FunctionAnalysisManager &FAM,
+                                       bool &Changed) {
+  PreservedAnalyses PA = PreservedAnalyses::all();
+  for (const std::unique_ptr<FunctionPass> &P : Passes) {
+    auto T0 = std::chrono::steady_clock::now();
+    PreservedAnalyses PassPA = P->run(F, FAM);
+    double Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    bool PassChanged = !PassPA.areAllPreserved();
+    Changed |= PassChanged;
+    // Nested pipelines already reported their contained passes.
+    if (!P->isPipeline())
+      PipelineStats::get().notePass(P->name(), Seconds, PassChanged);
+    FAM.invalidate(F, PassPA);
+    if (config().VerifyEach)
+      verifyNow(F, P->name());
+    if (config().PrintAfterAll && PassChanged)
+      std::fprintf(stderr, "; IR after %s on '%s':\n%s\n", P->name(),
+                   F.getName().c_str(), ir::printFunction(F).c_str());
+    PA.intersect(PassPA);
+  }
+  return PA;
+}
+
+PreservedAnalyses PassManager::run(ir::Function &F,
+                                   FunctionAnalysisManager &FAM) {
+  bool Changed = false;
+  return runOnce(F, FAM, Changed);
+}
+
+PreservedAnalyses FixpointPassManager::run(ir::Function &F,
+                                           FunctionAnalysisManager &FAM) {
+  PreservedAnalyses PA = PreservedAnalyses::all();
+  LastIterations = 0;
+  bool Changed = true;
+  while (Changed && LastIterations < MaxIterations) {
+    Changed = false;
+    ++LastIterations;
+    PA.intersect(runOnce(F, FAM, Changed));
+  }
+  return PA;
+}

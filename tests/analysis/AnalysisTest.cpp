@@ -9,6 +9,7 @@
 #include "analysis/ScalarEvolution.h"
 #include "analysis/TaskAnalysis.h"
 #include "ir/IRBuilder.h"
+#include "pm/Analyses.h"
 #include "support/Casting.h"
 
 #include <gtest/gtest.h>
@@ -53,7 +54,8 @@ struct NestFixture {
 
 TEST(DominatorsTest, EntryDominatesEverything) {
   NestFixture Fx;
-  DominatorTree DT(*Fx.F);
+  pm::FunctionAnalysisManager FAM;
+  DominatorTree &DT = FAM.getResult<pm::DominatorsAnalysis>(*Fx.F);
   BasicBlock *Entry = Fx.F->getEntry();
   for (const auto &BB : *Fx.F) {
     EXPECT_TRUE(DT.dominates(Entry, BB.get()));
@@ -63,7 +65,8 @@ TEST(DominatorsTest, EntryDominatesEverything) {
 
 TEST(DominatorsTest, BodyDoesNotDominateExit) {
   NestFixture Fx;
-  DominatorTree DT(*Fx.F);
+  pm::FunctionAnalysisManager FAM;
+  DominatorTree &DT = FAM.getResult<pm::DominatorsAnalysis>(*Fx.F);
   BasicBlock *InnerBody = cast<Instruction>(Fx.TheLoad)->getParent();
   // The function's single return block:
   BasicBlock *Ret = nullptr;
@@ -88,7 +91,8 @@ TEST(PostDominatorsTest, JoinPostDominatesBranch) {
   B.setInsertBlock(Join);
   B.createRet();
 
-  PostDominatorTree PDT(*F);
+  pm::FunctionAnalysisManager FAM;
+  PostDominatorTree &PDT = FAM.getResult<pm::PostDominatorsAnalysis>(*F);
   EXPECT_EQ(PDT.ipdom(Entry), Join);
   EXPECT_TRUE(PDT.postDominates(Join, Entry));
   EXPECT_FALSE(PDT.postDominates(Then, Entry));
@@ -96,7 +100,8 @@ TEST(PostDominatorsTest, JoinPostDominatesBranch) {
 
 TEST(LoopInfoTest, FindsNestWithDepths) {
   NestFixture Fx;
-  LoopInfo LI(*Fx.F);
+  pm::FunctionAnalysisManager FAM;
+  LoopInfo &LI = FAM.getResult<pm::LoopAnalysis>(*Fx.F);
   ASSERT_EQ(LI.loops().size(), 2u);
   EXPECT_EQ(LI.topLevelLoops().size(), 1u);
   Loop *Outer = LI.topLevelLoops()[0];
@@ -109,7 +114,8 @@ TEST(LoopInfoTest, FindsNestWithDepths) {
 
 TEST(LoopInfoTest, RecognizesCanonicalIV) {
   NestFixture Fx;
-  LoopInfo LI(*Fx.F);
+  pm::FunctionAnalysisManager FAM;
+  LoopInfo &LI = FAM.getResult<pm::LoopAnalysis>(*Fx.F);
   for (const auto &L : LI.loops()) {
     EXPECT_TRUE(L->isCanonical());
     EXPECT_EQ(L->getStep(), 1);
@@ -121,8 +127,8 @@ TEST(LoopInfoTest, RecognizesCanonicalIV) {
 
 TEST(ScalarEvolutionTest, AffineForms) {
   NestFixture Fx;
-  LoopInfo LI(*Fx.F);
-  ScalarEvolution SE(*Fx.F, LI);
+  pm::FunctionAnalysisManager FAM;
+  ScalarEvolution &SE = FAM.getResult<pm::ScalarEvolutionAnalysis>(*Fx.F);
 
   // The inner IV is affine with coefficient 1 on the inner loop.
   auto E = SE.getAffine(Fx.InnerIV);
@@ -139,8 +145,8 @@ TEST(ScalarEvolutionTest, AffineForms) {
 
 TEST(ScalarEvolutionTest, AccessExtraction) {
   NestFixture Fx;
-  LoopInfo LI(*Fx.F);
-  ScalarEvolution SE(*Fx.F, LI);
+  pm::FunctionAnalysisManager FAM;
+  ScalarEvolution &SE = FAM.getResult<pm::ScalarEvolutionAnalysis>(*Fx.F);
   auto Acc = SE.getAccess(Fx.TheLoad);
   ASSERT_TRUE(Acc.has_value());
   EXPECT_EQ(Acc->Base, Fx.A);
@@ -151,8 +157,9 @@ TEST(ScalarEvolutionTest, AccessExtraction) {
 
 TEST(ScalarEvolutionTest, TriangularBounds) {
   NestFixture Fx;
-  LoopInfo LI(*Fx.F);
-  ScalarEvolution SE(*Fx.F, LI);
+  pm::FunctionAnalysisManager FAM;
+  LoopInfo &LI = FAM.getResult<pm::LoopAnalysis>(*Fx.F);
+  ScalarEvolution &SE = FAM.getResult<pm::ScalarEvolutionAnalysis>(*Fx.F);
   Loop *Inner = LI.topLevelLoops()[0]->subLoops()[0];
   auto Bounds = SE.getLoopBounds(Inner);
   ASSERT_TRUE(Bounds.has_value());
@@ -178,8 +185,8 @@ TEST(ScalarEvolutionTest, NonAffineForms) {
                 B.createGep1D(G, B.getInt(0), 8));
   B.createRet();
 
-  LoopInfo LI(*F);
-  ScalarEvolution SE(*F, LI);
+  pm::FunctionAnalysisManager FAM;
+  ScalarEvolution &SE = FAM.getResult<pm::ScalarEvolutionAnalysis>(*F);
   EXPECT_FALSE(SE.getAffine(Sq).has_value());
   EXPECT_FALSE(SE.getAffine(Rem).has_value());
   EXPECT_FALSE(SE.getAffine(Ld).has_value());
@@ -194,7 +201,9 @@ TEST(ScalarEvolutionTest, NonAffineForms) {
 
 TEST(TaskAnalysisTest, ClassifiesFixtures) {
   NestFixture Fx;
-  auto Cls = classifyTask(*Fx.F);
+  pm::FunctionAnalysisManager FAM;
+  const TaskClassification &Cls =
+      FAM.getResult<pm::TaskClassificationAnalysis>(*Fx.F);
   EXPECT_EQ(Cls.Class, TaskClass::Affine);
   EXPECT_EQ(Cls.TotalLoops, 2u);
   EXPECT_EQ(Cls.AffineLoops, 2u);

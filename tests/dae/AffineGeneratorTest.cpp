@@ -12,6 +12,7 @@
 #include "dae/AffineGenerator.h"
 
 #include "analysis/LoopInfo.h"
+#include "pm/Analyses.h"
 #include "ir/IRBuilder.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
@@ -43,8 +44,9 @@ struct CountVisitor {
         else if (isa<StoreInst>(I.get()))
           ++Stores;
       }
-    analysis::LoopInfo LI(F);
-    Loops = static_cast<unsigned>(LI.loops().size());
+    pm::FunctionAnalysisManager FAM;
+    Loops = static_cast<unsigned>(
+        FAM.getResult<pm::LoopAnalysis>(F).loops().size());
   }
 };
 
@@ -316,7 +318,8 @@ TEST(AffineGeneratorTest, CacheLineStrideReducesPrefetchCount) {
   ASSERT_TRUE(R.succeeded()) << R.Notes;
   // The innermost loop must advance by 8 elements: find a loop whose step
   // constant is 8.
-  analysis::LoopInfo LI(*R.AccessFn);
+  pm::FunctionAnalysisManager FAM;
+  const analysis::LoopInfo &LI = FAM.getResult<pm::LoopAnalysis>(*R.AccessFn);
   bool FoundStride8 = false;
   for (const auto &L : LI.loops())
     if (L->isCanonical() && L->getStep() == 8)

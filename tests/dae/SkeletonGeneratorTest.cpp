@@ -11,6 +11,7 @@
 #include "dae/AccessGenerator.h"
 
 #include "analysis/LoopInfo.h"
+#include "pm/Analyses.h"
 #include "ir/IRBuilder.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
@@ -45,8 +46,9 @@ struct CountVisitor {
         else if (auto *Br = dyn_cast<BrInst>(I.get()))
           CondBranches += Br->isConditional();
       }
-    analysis::LoopInfo LI(F);
-    Loops = static_cast<unsigned>(LI.loops().size());
+    pm::FunctionAnalysisManager FAM;
+    Loops = static_cast<unsigned>(
+        FAM.getResult<pm::LoopAnalysis>(F).loops().size());
   }
 };
 

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/LoopInfo.h"
+#include "pm/Analyses.h"
 #include "ir/IRBuilder.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
@@ -169,8 +170,8 @@ TEST(InlinerTest, InlinesLoopsInCallee) {
   }
   EXPECT_EQ(runInliner(*F), 2u);
   EXPECT_TRUE(verifyFunction(*F).empty()) << printFunction(*F);
-  analysis::LoopInfo LI(*F);
-  EXPECT_EQ(LI.loops().size(), 2u);
+  pm::FunctionAnalysisManager FAM;
+  EXPECT_EQ(FAM.getResult<pm::LoopAnalysis>(*F).loops().size(), 2u);
 }
 
 TEST(LoopDeletionTest, RemovesSideEffectFreeLoop) {
@@ -190,8 +191,8 @@ TEST(LoopDeletionTest, RemovesSideEffectFreeLoop) {
 
   runDCE(*F);
   EXPECT_TRUE(runLoopDeletion(*F));
-  analysis::LoopInfo LI(*F);
-  EXPECT_EQ(LI.loops().size(), 1u);
+  pm::FunctionAnalysisManager FAM;
+  EXPECT_EQ(FAM.getResult<pm::LoopAnalysis>(*F).loops().size(), 1u);
   EXPECT_TRUE(verifyFunction(*F).empty()) << printFunction(*F);
 }
 
