@@ -17,6 +17,7 @@
 #ifndef DAECC_BENCH_BENCHUTIL_H
 #define DAECC_BENCH_BENCHUTIL_H
 
+#include "harness/Harness.h"
 #include "pm/Instrumentation.h"
 #include "runtime/Task.h"
 #include "workloads/Workload.h"
@@ -26,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace dae {
 namespace bench {
@@ -93,6 +95,18 @@ inline bool pipelineFlagsFromArgs(int Argc, char **Argv) {
   return PassStats;
 }
 
+/// DAE correctness oracle switch: `--dae-verify` (or DAECC_DAE_VERIFY=1)
+/// runs the static purity audit + dynamic differential checker per (app,
+/// DAE scheme); verdicts print per app and land in the dae_verify block of
+/// BENCH_<name>.json. Simulated profiles and outputs are unchanged.
+inline bool daeVerifyFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--dae-verify") == 0)
+      return true;
+  const char *Env = std::getenv("DAECC_DAE_VERIFY");
+  return Env && Env[0] == '1';
+}
+
 inline void printRule(int Width = 78) {
   for (int I = 0; I != Width; ++I)
     std::putchar('-');
@@ -131,6 +145,19 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 ///                                     per-analysis computes / cache_hits /
 ///                                     wall_seconds — where generation time
 ///                                     goes across the suite's jobs
+///   dae_verify                array   DAE correctness oracle verdicts, one
+///                                     object per (app, scheme) checked
+///                                     under --dae-verify / DAECC_DAE_VERIFY
+///                                     (empty when verification was off):
+///                                     app, scheme ("manual"|"auto"), purity
+///                                     (audit + differential both clean),
+///                                     coverage (footprint), strict_coverage
+///                                     (same-task), overshoot (see
+///                                     verify/DifferentialChecker.h for the
+///                                     definitions), baseline_misses,
+///                                     covered_misses, strict_covered_misses,
+///                                     prefetched_lines, unused_lines,
+///                                     decoupled_tasks
 ///   failures                  int     apps whose schemes disagreed (or
 ///                                     otherwise failed)
 ///   status                    string  "started" while running, then "ok"
@@ -154,6 +181,48 @@ public:
   /// Wall clock of a separately measured sequential (--jobs=1) run of the
   /// same suite, enabling the speedup_vs_jobs1 field.
   void setBaseline(double Jobs1Seconds) { BaselineSeconds = Jobs1Seconds; }
+
+  /// Records one (app, scheme) oracle verdict for the dae_verify JSON block
+  /// and prints the human-readable line. Impure verdicts also count as
+  /// failures. No-op when the verdict did not run (scheme fully coupled).
+  void addDaeVerify(const std::string &App, const char *SchemeName,
+                    const harness::DaeVerifyResult &V) {
+    if (!V.Ran)
+      return;
+    bool Pure = V.AuditPure && V.Diff.pure();
+    std::printf("[dae-verify] %-9s %-6s purity=%s coverage=%.3f "
+                "strict=%.3f overshoot=%.3f (%llu/%llu baseline misses "
+                "covered, %zu decoupled tasks)\n",
+                App.c_str(), SchemeName, Pure ? "pass" : "FAIL",
+                V.Diff.coverage(), V.Diff.strictCoverage(),
+                V.Diff.overshoot(),
+                static_cast<unsigned long long>(V.Diff.CoveredMisses),
+                static_cast<unsigned long long>(V.Diff.BaselineExecMisses),
+                V.Diff.DecoupledTasks);
+    for (const std::string &Viol : V.AuditViolations)
+      std::printf("[dae-verify]   audit violation: %s\n", Viol.c_str());
+    if (!Pure)
+      noteFailure();
+
+    char Buf[640];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\"app\": \"%s\", \"scheme\": \"%s\", \"purity\": %s, "
+        "\"coverage\": %.6f, \"strict_coverage\": %.6f, \"overshoot\": %.6f, "
+        "\"baseline_misses\": %llu, \"covered_misses\": %llu, "
+        "\"strict_covered_misses\": %llu, "
+        "\"prefetched_lines\": %llu, \"unused_lines\": %llu, "
+        "\"decoupled_tasks\": %zu}",
+        App.c_str(), SchemeName, Pure ? "true" : "false", V.Diff.coverage(),
+        V.Diff.strictCoverage(), V.Diff.overshoot(),
+        static_cast<unsigned long long>(V.Diff.BaselineExecMisses),
+        static_cast<unsigned long long>(V.Diff.CoveredMisses),
+        static_cast<unsigned long long>(V.Diff.StrictCoveredMisses),
+        static_cast<unsigned long long>(V.Diff.PrefetchedLines),
+        static_cast<unsigned long long>(V.Diff.UnusedPrefetchedLines),
+        V.Diff.DecoupledTasks);
+    DaeVerifyEntries.push_back(Buf);
+  }
 
   double seconds() const {
     return std::chrono::duration<double>(End - Start).count();
@@ -186,6 +255,12 @@ private:
     double Speedup =
         BaselineSeconds > 0.0 && Seconds > 0.0 ? BaselineSeconds / Seconds
                                                : -1.0;
+    std::string DaeVerify = "[";
+    for (size_t I = 0; I != DaeVerifyEntries.size(); ++I) {
+      DaeVerify += I ? ", " : "";
+      DaeVerify += DaeVerifyEntries[I];
+    }
+    DaeVerify += "]";
     std::string Path = "BENCH_" + Name + ".json";
     if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
       std::fprintf(F,
@@ -199,13 +274,15 @@ private:
                    "  \"baseline_jobs1_seconds\": %.6f,\n"
                    "  \"speedup_vs_jobs1\": %.3f,\n"
                    "  \"pass_stats\": %s,\n"
+                   "  \"dae_verify\": %s,\n"
                    "  \"failures\": %u,\n"
                    "  \"status\": \"%s\"\n"
                    "}\n",
                    Name.c_str(), Jobs, SimThreads, Seconds,
                    static_cast<unsigned long long>(Instructions), Ips,
                    BaselineSeconds > 0.0 ? BaselineSeconds : -1.0, Speedup,
-                   pm::PipelineStats::get().json().c_str(), Failures, Status);
+                   pm::PipelineStats::get().json().c_str(), DaeVerify.c_str(),
+                   Failures, Status);
       std::fclose(F);
     }
   }
@@ -216,6 +293,7 @@ private:
   unsigned Failures = 0;
   double BaselineSeconds = -1.0;
   std::uint64_t Instructions = 0;
+  std::vector<std::string> DaeVerifyEntries;
   std::chrono::steady_clock::time_point Start, End;
 };
 

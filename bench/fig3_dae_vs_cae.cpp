@@ -70,6 +70,7 @@ int main(int Argc, char **Argv) {
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
   const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
+  const bool DaeVerify = daeVerifyFromArgs(Argc, Argv);
   bool MeasureBaseline = Jobs > 1;
   for (int I = 1; I < Argc; ++I)
     if (std::strcmp(Argv[I], "--no-baseline") == 0)
@@ -89,6 +90,7 @@ int main(int Argc, char **Argv) {
   SC.Jobs = Jobs;
   SC.SimThreads = Cfg.SimThreads;
   SC.Memo = &Memo;
+  SC.DaeVerify = DaeVerify;
 
   Throughput.start();
   std::vector<AppResult> Results = runSuite(Items, Cfg, SC);
@@ -102,6 +104,8 @@ int main(int Argc, char **Argv) {
     Throughput.add(R.Cae);
     Throughput.add(R.Manual);
     Throughput.add(R.Auto);
+    Throughput.addDaeVerify(R.Name, "manual", R.ManualVerify);
+    Throughput.addDaeVerify(R.Name, "auto", R.AutoVerify);
   }
 
   // Sequential reference for the recorded speedup (skipped via

@@ -73,6 +73,7 @@ int main(int Argc, char **Argv) {
   SC.Jobs = Jobs;
   SC.SimThreads = Cfg.SimThreads;
   SC.Memo = &Memo;
+  SC.DaeVerify = daeVerifyFromArgs(Argc, Argv);
 
   ThroughputReporter Throughput("fig4_profiles", Cfg.SimThreads, Jobs);
   Throughput.start();
@@ -88,6 +89,8 @@ int main(int Argc, char **Argv) {
     Throughput.add(R.Cae);
     Throughput.add(R.Manual);
     Throughput.add(R.Auto);
+    Throughput.addDaeVerify(R.Name, "manual", R.ManualVerify);
+    Throughput.addDaeVerify(R.Name, "auto", R.AutoVerify);
     for (auto [Which, Label] :
          {std::pair{Scheme::Cae, "CAE"}, std::pair{Scheme::Manual,
                                                    "Manual DAE"},

@@ -12,6 +12,8 @@
 #include "ir/Module.h"
 #include "passes/Passes.h"
 #include "pm/Analyses.h"
+#include "support/Rational.h"
+#include "verify/AccessPhaseAudit.h"
 
 using namespace dae;
 using namespace dae::analysis;
@@ -55,9 +57,22 @@ dae::generateAccessPhaseForOptimizedTask(Module &M, Function &Task,
 
   AccessPhaseResult Result;
   if (Cls.Class == TaskClass::Affine) {
-    Result = generateAffineAccess(M, Task, Opts, FAM);
-    if (Result.AccessFn)
-      passes::optimizeFunction(*Result.AccessFn, FAM);
+    try {
+      Result = generateAffineAccess(M, Task, Opts, FAM);
+      if (Result.AccessFn)
+        passes::optimizeFunction(*Result.AccessFn, FAM);
+    } catch (const RationalOverflow &E) {
+      // Fail safe: an overflowed lattice-point count must never decide the
+      // hull guard. Discard any partially emitted access function and take
+      // the skeleton path instead.
+      if (ir::Function *Partial = M.getFunction(Task.getName() + ".access")) {
+        FAM.clear(*Partial);
+        M.eraseFunction(Partial);
+      }
+      Result = AccessPhaseResult();
+      Result.Strategy = TaskClass::Affine;
+      Result.Notes = std::string("polyhedral counting overflowed: ") + E.what();
+    }
   }
   if (!Result.AccessFn) {
     std::string AffineNote = Result.Notes;
@@ -66,7 +81,9 @@ dae::generateAccessPhaseForOptimizedTask(Module &M, Function &Task,
       Result.Notes += " (affine path declined: " + AffineNote + ")";
   }
 
-  if (Result.AccessFn)
+  if (Result.AccessFn) {
     pm::verifyGenerated(*Result.AccessFn, "access-phase generation");
+    verify::auditGenerated(*Result.AccessFn, "access-phase generation");
+  }
   return Result;
 }

@@ -15,6 +15,7 @@
 #include "passes/Passes.h"
 #include "pm/Analyses.h"
 #include "support/Casting.h"
+#include "verify/AccessPhaseAudit.h"
 
 using namespace dae;
 using namespace dae::ir;
@@ -175,6 +176,7 @@ AccessPhaseResult GenerationMemo::generate(Module &M, Function &Task,
             R.AccessFn = transplantFunction(*E.Cached.AccessFn, M,
                                             Task.getName() + ".access");
             pm::verifyGenerated(*R.AccessFn, "memo transplant");
+            verify::auditGenerated(*R.AccessFn, "memo transplant");
           }
           return R;
         }

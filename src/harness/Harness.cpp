@@ -11,9 +11,12 @@
 #include "harness/JobPool.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "ir/Printer.h"
 #include "passes/Passes.h"
 #include "pm/Analyses.h"
 #include "sim/Interpreter.h"
+#include "verify/AccessPhaseAudit.h"
+#include "verify/DifferentialChecker.h"
 
 #include <cassert>
 #include <memory>
@@ -52,6 +55,50 @@ RunProfile runScheme(const Workload &W, const std::vector<Task> &Tasks,
   RunProfile P = RT.execute(Tasks);
   OutBytes = snapshotOutputs(W, Mem, L);
   return P;
+}
+
+/// The per-scheme correctness oracle (--dae-verify): static purity audit of
+/// every access phase in \p Tasks, then the with/without-access dynamic
+/// differential. Returns Ran == false for schemes with no decoupled tasks
+/// (there is nothing to verify; CAE always lands here).
+DaeVerifyResult verifyScheme(const Workload &W,
+                             const std::vector<Task> &Tasks,
+                             const MachineConfig &Cfg, const Loader &L) {
+  DaeVerifyResult V;
+  V.AuditPure = true;
+
+  bool AnyAccess = false;
+  pm::FunctionAnalysisManager FAM;
+  std::set<const ir::Function *> Audited;
+  for (const Task &T : Tasks) {
+    if (!T.Access)
+      continue;
+    AnyAccess = true;
+    if (!Audited.insert(T.Access).second)
+      continue;
+    // The audit only reads the function; the analysis manager's interface
+    // is mutable because passes share it.
+    auto &AccessFn = *const_cast<ir::Function *>(T.Access);
+    verify::AuditReport Rep = verify::auditAccessPhase(AccessFn, FAM);
+    for (const verify::AuditViolation &Viol : Rep.Violations) {
+      V.AuditPure = false;
+      std::string S = T.Access->getName() + ": " + Viol.Reason;
+      if (Viol.Inst)
+        S += ": " + ir::printInstruction(*Viol.Inst);
+      V.AuditViolations.push_back(std::move(S));
+    }
+  }
+  if (!AnyAccess)
+    return V;
+  V.Ran = true;
+
+  verify::DifferentialSpec Spec;
+  Spec.Init = W.Init;
+  Spec.OutputGlobals = W.OutputGlobals;
+  Spec.OutputSizes = W.OutputSizes;
+  verify::DifferentialChecker Checker(Cfg, L, std::move(Spec));
+  V.Diff = Checker.check(Tasks);
+  return V;
 }
 
 /// Everything one app needs before its three scheme simulations can run:
@@ -137,13 +184,18 @@ AppResult assembleApp(PreparedApp &P, RunProfile Profiles[3],
 
 AppResult harness::runApp(Workload &W, const MachineConfig &Cfg,
                           const DaeOptions *OptsOverride,
-                          GenerationMemo *Memo) {
+                          GenerationMemo *Memo, bool DaeVerify) {
   PreparedApp P = prepareApp(W, OptsOverride, Memo);
   RunProfile Profiles[3];
   std::vector<std::uint8_t> Outputs[3];
   for (int S = 0; S != 3; ++S)
     Profiles[S] = runScheme(W, P.SchemeTasks[S], Cfg, *P.L, Outputs[S]);
-  return assembleApp(P, Profiles, Outputs, Cfg);
+  AppResult R = assembleApp(P, Profiles, Outputs, Cfg);
+  if (DaeVerify) {
+    R.ManualVerify = verifyScheme(W, P.SchemeTasks[1], Cfg, *P.L);
+    R.AutoVerify = verifyScheme(W, P.SchemeTasks[2], Cfg, *P.L);
+  }
+  return R;
 }
 
 std::vector<AppResult> harness::runSuite(const std::vector<SuiteItem> &Items,
@@ -159,12 +211,14 @@ std::vector<AppResult> harness::runSuite(const std::vector<SuiteItem> &Items,
     PreparedApp P;
     RunProfile Profiles[3];
     std::vector<std::uint8_t> Outputs[3];
+    DaeVerifyResult Verify[2]; ///< Manual, Auto (under SC.DaeVerify).
   };
   std::vector<AppSlot> Slots(Items.size());
 
   // One preparation job per app; each fans out its three scheme simulations
-  // as further jobs (private Memory per simulation; the Loader and the
-  // module are shared read-only between them).
+  // (plus, under --dae-verify, the two DAE-scheme oracle runs) as further
+  // jobs (private Memory per simulation; the Loader and the module are
+  // shared read-only between them).
   for (size_t I = 0; I != Items.size(); ++I) {
     Pool.submit([&Pool, &Slots, &Items, &JobCfg, &SC, I] {
       AppSlot &S = Slots[I];
@@ -174,6 +228,12 @@ std::vector<AppResult> harness::runSuite(const std::vector<SuiteItem> &Items,
           S.Profiles[Sch] = runScheme(*S.P.W, S.P.SchemeTasks[Sch], JobCfg,
                                       *S.P.L, S.Outputs[Sch]);
         });
+      if (SC.DaeVerify)
+        for (int D = 0; D != 2; ++D)
+          Pool.submit([&S, &JobCfg, D] {
+            S.Verify[D] = verifyScheme(*S.P.W, S.P.SchemeTasks[D + 1],
+                                       JobCfg, *S.P.L);
+          });
     });
   }
   Pool.wait();
@@ -181,8 +241,12 @@ std::vector<AppResult> harness::runSuite(const std::vector<SuiteItem> &Items,
   // Assemble in item order, independent of completion order.
   std::vector<AppResult> Results;
   Results.reserve(Slots.size());
-  for (AppSlot &S : Slots)
-    Results.push_back(assembleApp(S.P, S.Profiles, S.Outputs, Cfg));
+  for (AppSlot &S : Slots) {
+    AppResult R = assembleApp(S.P, S.Profiles, S.Outputs, Cfg);
+    R.ManualVerify = std::move(S.Verify[0]);
+    R.AutoVerify = std::move(S.Verify[1]);
+    Results.push_back(std::move(R));
+  }
   return Results;
 }
 

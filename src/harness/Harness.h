@@ -21,6 +21,7 @@
 #include "dae/AccessGenerator.h"
 #include "runtime/Evaluator.h"
 #include "runtime/Runtime.h"
+#include "verify/DifferentialChecker.h"
 #include "workloads/Workload.h"
 
 #include <cstdint>
@@ -43,6 +44,19 @@ struct Table1Row {
   std::size_t NumTasks = 0;
   double AccessTimePercent = 0.0; ///< TA%.
   double AccessTimeUs = 0.0;      ///< TA (usec).
+};
+
+/// Oracle verdict for one (app, scheme); produced under --dae-verify /
+/// DAECC_DAE_VERIFY (see verify/). Ran is false when verification was off
+/// or the scheme has no decoupled tasks to check.
+struct DaeVerifyResult {
+  bool Ran = false;
+  /// Static half: every access phase of the scheme passed AccessPhaseAudit.
+  bool AuditPure = false;
+  /// Static-half findings, one string per violation (empty when pure).
+  std::vector<std::string> AuditViolations;
+  /// Dynamic half: with/without-access differential + coverage/overshoot.
+  verify::DifferentialResult Diff;
 };
 
 /// Everything measured for one application.
@@ -68,6 +82,11 @@ struct AppResult {
   std::vector<std::uint8_t> CaeOutputs;
   std::vector<std::uint8_t> ManualOutputs;
   std::vector<std::uint8_t> AutoOutputs;
+
+  /// Oracle verdicts for the two DAE schemes (Manual, Auto), populated only
+  /// under --dae-verify.
+  DaeVerifyResult ManualVerify;
+  DaeVerifyResult AutoVerify;
 };
 
 /// Figure 3 bars for one application at one transition latency, normalized
@@ -85,10 +104,11 @@ struct Fig3Row {
 /// Runs the full pipeline for one workload. \p Opts overrides the workload's
 /// generator options when non-null. When \p Memo is non-null, access-phase
 /// generation goes through it (results are identical either way; see
-/// dae/GenerationMemo.h).
+/// dae/GenerationMemo.h). \p DaeVerify additionally runs the correctness
+/// oracle over the Manual and Auto schemes (see SuiteConfig::DaeVerify).
 AppResult runApp(workloads::Workload &W, const sim::MachineConfig &Cfg,
                  const DaeOptions *OptsOverride = nullptr,
-                 GenerationMemo *Memo = nullptr);
+                 GenerationMemo *Memo = nullptr, bool DaeVerify = false);
 
 /// One unit of suite work: a workload plus optional per-item generator
 /// options (the ablation drivers pass a different override per variant).
@@ -106,6 +126,12 @@ struct SuiteConfig {
   unsigned SimThreads = 1;
   /// Shared generation memo; null disables memoization.
   GenerationMemo *Memo = nullptr;
+  /// Run the DAE correctness oracle per (app, DAE scheme): static
+  /// AccessPhaseAudit over every access phase plus the with/without-access
+  /// DifferentialChecker (--dae-verify / DAECC_DAE_VERIFY). Results land in
+  /// AppResult::ManualVerify / AutoVerify; simulated profiles and outputs
+  /// are unaffected.
+  bool DaeVerify = false;
 };
 
 /// Runs every item through the full per-app pipeline on a JobPool: each app

@@ -22,15 +22,26 @@ unsigned JobPool::hostThreadBudget() {
   return HW ? HW : 1;
 }
 
+unsigned JobPool::effectiveSimThreads(unsigned Jobs, unsigned SimThreadsPerJob,
+                                      unsigned HostBudget) {
+  Jobs = std::max(1u, Jobs);
+  SimThreadsPerJob = std::max(1u, SimThreadsPerJob);
+  if (Jobs == 1)
+    return SimThreadsPerJob;
+  // Shared budget: never let Jobs * SimThreads exceed the host, but always
+  // grant each job at least one thread (jobs themselves are the coarser and
+  // better-scaling axis, so they win ties). A zero HostBudget — the value
+  // hardware_concurrency() returns when the host can't report one — degrades
+  // to one thread per job rather than dividing by zero.
+  unsigned Budget = std::max(Jobs, HostBudget);
+  return std::clamp(std::max(1u, Budget / Jobs), 1u, SimThreadsPerJob);
+}
+
 JobPool::JobPool(unsigned Jobs, unsigned SimThreadsPerJob)
     : NumJobs(std::max(1u, Jobs)),
-      SimThreads(std::max(1u, SimThreadsPerJob)) {
+      SimThreads(effectiveSimThreads(Jobs, SimThreadsPerJob,
+                                     hostThreadBudget())) {
   if (NumJobs > 1) {
-    // Shared budget: never let Jobs * SimThreads exceed the host, but always
-    // grant each job at least one thread (jobs themselves are the coarser
-    // and better-scaling axis, so they win ties).
-    unsigned Budget = std::max(NumJobs, hostThreadBudget());
-    SimThreads = std::clamp(Budget / NumJobs, 1u, SimThreads);
     Workers.reserve(NumJobs);
     for (unsigned I = 0; I != NumJobs; ++I)
       Workers.emplace_back([this] { workerLoop(); });

@@ -57,8 +57,19 @@ public:
   void wait();
 
   /// Host threads available to the whole suite: DAECC_HOST_THREADS when set,
-  /// otherwise std::thread::hardware_concurrency().
+  /// otherwise std::thread::hardware_concurrency() — which the standard
+  /// allows to return 0 ("not computable"); that is mapped to 1 here so no
+  /// caller ever sees a zero budget.
   static unsigned hostThreadBudget();
+
+  /// Pure clamp behind simThreadsPerJob(): the sim threads each of \p Jobs
+  /// concurrent jobs gets from \p HostBudget, given a request of
+  /// \p SimThreadsPerJob. Total never exceeds max(Jobs, HostBudget); every
+  /// job always gets at least one thread — including on exotic hosts where
+  /// the reported budget is 0, which can neither divide by zero nor clamp
+  /// the allowance to 0 (the latent hardware_concurrency()==0 bug).
+  static unsigned effectiveSimThreads(unsigned Jobs, unsigned SimThreadsPerJob,
+                                      unsigned HostBudget);
 
 private:
   void workerLoop();

@@ -151,12 +151,23 @@ struct WaveResult {
 
 /// Streams a recorded access trace through the hierarchy as \p Core, adding
 /// the cache-dependent statistics to \p S. The per-kind accounting matches
-/// the fused interpreter's inline cost model statement for statement.
+/// the fused interpreter's inline cost model statement for statement. When
+/// \p Cap is non-null, every event's cache line lands in Cap->Lines and
+/// every DRAM-missing demand access in Cap->MissLines (oracle capture; has
+/// no effect on any simulated outcome).
 void replayTrace(const AccessTrace &Tr, CacheHierarchy &Caches, unsigned Core,
-                 const MachineConfig &Cfg, PhaseStats &S) {
+                 const MachineConfig &Cfg, PhaseStats &S,
+                 PhaseCapture *Cap = nullptr, std::uint64_t LineBytes = 64) {
   for (std::uint64_t E : Tr.events()) {
     std::uint64_t Addr = AccessTrace::addrOf(E);
     HitLevel Level = Caches.access(Core, Addr);
+    if (Cap) {
+      std::uint64_t Line = Addr / LineBytes;
+      Cap->Lines.push_back(Line);
+      if (Level == HitLevel::Memory &&
+          AccessTrace::kindOf(E) == AccessTrace::Kind::Load)
+        Cap->MissLines.push_back(Line);
+    }
     switch (AccessTrace::kindOf(E)) {
     case AccessTrace::Kind::Load:
       switch (Level) {
@@ -221,10 +232,15 @@ TaskRuntime::TaskRuntime(const MachineConfig &Cfg, Memory &Mem,
                          const sim::Loader &L)
     : Cfg(Cfg), Mem(Mem), Loader(L) {}
 
-RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
-                                bool RunAccess) {
+RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
+                                RunCapture *Capture) {
   const unsigned NumCores = Cfg.NumCores;
   CacheHierarchy Caches(Cfg, NumCores);
+
+  if (Capture) {
+    Capture->LineBytes = Cfg.LLC.LineBytes;
+    Capture->Tasks.assign(Tasks.size(), TaskCapture());
+  }
 
   // Compile every task function (and transitive callees) up front; the
   // program is read-only from here on and shared by all workers.
@@ -304,17 +320,28 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
       }
 
       WaveResult &R = Results[Chosen];
+      TaskCapture *Cap = nullptr;
+      if (Capture) {
+        // Original task index: WaveTasks holds pointers into Tasks.
+        Cap = &Capture->Tasks[WaveTasks[Chosen] - Tasks.data()];
+      }
       TaskProfile TP;
       TP.Core = Core;
       TP.Wave = WaveId;
       if (R.HasAccess) {
         TP.HasAccess = true;
         TP.Access = R.Access;
-        replayTrace(R.AccessTr, Caches, Core, Cfg, TP.Access);
+        if (Cap)
+          Cap->HasAccess = true;
+        replayTrace(R.AccessTr, Caches, Core, Cfg, TP.Access,
+                    Cap ? &Cap->Access : nullptr,
+                    Capture ? Capture->LineBytes : 64);
         R.AccessTr.releaseTo(TracePool::global());
       }
       TP.Execute = R.Execute;
-      replayTrace(R.ExecTr, Caches, Core, Cfg, TP.Execute);
+      replayTrace(R.ExecTr, Caches, Core, Cfg, TP.Execute,
+                  Cap ? &Cap->Execute : nullptr,
+                  Capture ? Capture->LineBytes : 64);
       R.ExecTr.releaseTo(TracePool::global());
 
       CoreTimeNs[Core] += TP.Access.timeNs(Cfg.fmax()) +
@@ -330,5 +357,15 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks,
       T = WaveEnd;
   }
   assert(Profile.Tasks.size() == Tasks.size() && "lost tasks");
+
+  if (Capture) {
+    for (TaskCapture &TC : Capture->Tasks) {
+      for (PhaseCapture *PC : {&TC.Access, &TC.Execute}) {
+        std::sort(PC->Lines.begin(), PC->Lines.end());
+        PC->Lines.erase(std::unique(PC->Lines.begin(), PC->Lines.end()),
+                        PC->Lines.end());
+      }
+    }
+  }
   return Profile;
 }

@@ -35,6 +35,34 @@ class Module;
 
 namespace runtime {
 
+/// Cache-line-granular record of one simulated phase, collected during the
+/// timing replay when the caller asks for it (the DAE correctness oracle;
+/// see verify/DifferentialChecker.h). Lines are byte addresses divided by
+/// RunCapture::LineBytes.
+struct PhaseCapture {
+  /// Unique lines touched by the phase, sorted ascending.
+  std::vector<std::uint64_t> Lines;
+  /// One entry per DRAM-missing demand *load*, in replay order —
+  /// multiplicity is meaningful. Prefetches are excluded (not demand
+  /// misses), and so are store (RFO) misses: a prefetch-only access phase
+  /// cannot cover a write allocation, so they are not part of the coverage
+  /// population (see verify/DifferentialChecker.h).
+  std::vector<std::uint64_t> MissLines;
+};
+
+/// Per-task capture, indexed like the Tasks vector passed to execute().
+struct TaskCapture {
+  bool HasAccess = false;
+  PhaseCapture Access, Execute;
+};
+
+/// Whole-run capture. Purely observational: requesting one changes no
+/// simulated outcome (asserted by SnapshotTest's golden profiles).
+struct RunCapture {
+  std::uint64_t LineBytes = 64;
+  std::vector<TaskCapture> Tasks;
+};
+
 /// Executes task sets over the simulated machine.
 class TaskRuntime {
 public:
@@ -45,8 +73,11 @@ public:
 
   /// Runs \p Tasks to completion with work stealing. When \p RunAccess is
   /// false, access phases are skipped even if present (coupled execution of
-  /// the same binaries). Returns the per-task profiles.
-  RunProfile execute(const std::vector<Task> &Tasks, bool RunAccess = true);
+  /// the same binaries). Returns the per-task profiles. When \p Capture is
+  /// non-null it is filled with one TaskCapture per input task (original
+  /// order), recording the cache lines each phase touched and demand-missed.
+  RunProfile execute(const std::vector<Task> &Tasks, bool RunAccess = true,
+                     RunCapture *Capture = nullptr);
 
 private:
   const sim::MachineConfig &Cfg;

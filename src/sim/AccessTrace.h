@@ -32,8 +32,27 @@ namespace sim {
 /// allocation churn that shows up once suite jobs run concurrently. Purely
 /// a storage cache: trace *contents* never cross users, so simulated
 /// results are unaffected.
+///
+/// Retention is bounded three ways: at most MaxPooled buffers, at most
+/// MaxBufferBytes of capacity per buffer (one huge-wave trace must not pin
+/// its worst-case footprint forever), and at most MaxTotalBytes of capacity
+/// across the whole free-list. Buffers over either byte cap are simply
+/// freed on recycle.
 class TracePool {
 public:
+  static constexpr std::size_t DefaultMaxPooled = 256;
+  /// 8 MiB per buffer = 1M trace events; larger traces are outliers whose
+  /// capacity should go back to the allocator.
+  static constexpr std::size_t DefaultMaxBufferBytes = 8u << 20;
+  /// 64 MiB total retained across the pool.
+  static constexpr std::size_t DefaultMaxTotalBytes = 64u << 20;
+
+  explicit TracePool(std::size_t MaxPooled = DefaultMaxPooled,
+                     std::size_t MaxBufferBytes = DefaultMaxBufferBytes,
+                     std::size_t MaxTotalBytes = DefaultMaxTotalBytes)
+      : MaxPooled(MaxPooled), MaxBufferBytes(MaxBufferBytes),
+        MaxTotalBytes(MaxTotalBytes) {}
+
   /// Process-wide pool (suite jobs in one process share one allocator
   /// anyway, so they share one free-list too).
   static TracePool &global() {
@@ -48,17 +67,22 @@ public:
       return {};
     std::vector<std::uint64_t> Buf = std::move(Free.back());
     Free.pop_back();
+    RetainedBytes -= Buf.capacity() * sizeof(std::uint64_t);
     ++Reuses;
     return Buf;
   }
 
-  /// Takes \p Buf back (cleared, capacity kept). Beyond MaxPooled buffers
-  /// the storage is simply freed.
+  /// Takes \p Buf back (cleared, capacity kept) unless pooling it would
+  /// break a cap, in which case the storage is simply freed.
   void recycle(std::vector<std::uint64_t> Buf) {
     Buf.clear();
+    std::size_t Bytes = Buf.capacity() * sizeof(std::uint64_t);
     std::lock_guard<std::mutex> Lock(Mutex);
-    if (Free.size() < MaxPooled)
-      Free.push_back(std::move(Buf));
+    if (Free.size() >= MaxPooled || Bytes > MaxBufferBytes ||
+        RetainedBytes + Bytes > MaxTotalBytes)
+      return;
+    RetainedBytes += Bytes;
+    Free.push_back(std::move(Buf));
   }
 
   std::uint64_t reuses() const {
@@ -66,10 +90,25 @@ public:
     return Reuses;
   }
 
+  /// Capacity bytes currently held in the free-list (testing/diagnostics).
+  std::size_t retainedBytes() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return RetainedBytes;
+  }
+
+  /// Buffers currently pooled (testing/diagnostics).
+  std::size_t pooledBuffers() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Free.size();
+  }
+
 private:
-  static constexpr std::size_t MaxPooled = 256;
+  const std::size_t MaxPooled;
+  const std::size_t MaxBufferBytes;
+  const std::size_t MaxTotalBytes;
   mutable std::mutex Mutex;
   std::vector<std::vector<std::uint64_t>> Free;
+  std::size_t RetainedBytes = 0;
   std::uint64_t Reuses = 0;
 };
 

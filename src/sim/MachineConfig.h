@@ -98,7 +98,15 @@ struct MachineConfig {
   double fmax() const { return FrequenciesGHz.back(); }
 
   /// Sandybridge-like V-f curve: ~0.93 V at 1.6 GHz, ~1.25 V at 3.4 GHz.
+  /// Defined for every input: frequencies off the DVFS ladder are clamped to
+  /// [fmin, fmax] first, so an out-of-range query (a sweep overshooting the
+  /// ladder, a 0 GHz sentinel) prices the nearest real operating point
+  /// instead of extrapolating the linear fit to nonsense voltages.
   double voltageAt(double FreqGHz) const {
+    if (FreqGHz < fmin())
+      FreqGHz = fmin();
+    else if (FreqGHz > fmax())
+      FreqGHz = fmax();
     return 0.65 + 0.175 * FreqGHz;
   }
 };

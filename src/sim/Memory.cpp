@@ -8,6 +8,7 @@
 
 #include "ir/Module.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -33,6 +34,39 @@ size_t Memory::pagesTouched() const {
     N += S.Pages.size();
   }
   return N;
+}
+
+std::uint64_t Memory::imageHash() const {
+  // Collect nonzero pages across shards, then hash in page-index order so
+  // the result is independent of sharding and allocation order.
+  std::vector<std::pair<std::uint64_t, const std::uint8_t *>> Nonzero;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (const auto &[Idx, Page] : S.Pages) {
+      const std::uint8_t *P = Page.get();
+      bool AllZero = true;
+      for (std::uint64_t B = 0; B != PageSize && AllZero; ++B)
+        AllZero = P[B] == 0;
+      if (!AllZero)
+        Nonzero.emplace_back(Idx, P);
+    }
+  }
+  std::sort(Nonzero.begin(), Nonzero.end());
+
+  std::uint64_t H = 1469598103934665603ull; // FNV-1a offset basis.
+  auto feed = [&H](const std::uint8_t *Data, std::uint64_t Len) {
+    for (std::uint64_t I = 0; I != Len; ++I) {
+      H ^= Data[I];
+      H *= 1099511628211ull;
+    }
+  };
+  for (const auto &[Idx, P] : Nonzero) {
+    std::uint8_t IdxBytes[8];
+    std::memcpy(IdxBytes, &Idx, 8);
+    feed(IdxBytes, 8);
+    feed(P, PageSize);
+  }
+  return H;
 }
 
 namespace {

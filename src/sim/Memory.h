@@ -58,6 +58,14 @@ public:
   /// Number of distinct pages touched (testing/diagnostics).
   size_t pagesTouched() const;
 
+  /// FNV-1a hash of the program-visible memory image: every page with any
+  /// nonzero byte, in page-index order, hashed as (index, contents).
+  /// All-zero pages hash like untouched ones, so two runs differ only when
+  /// they produced different *values* — an access phase that merely touches
+  /// (allocates) extra pages, which a pure prefetcher may, cannot change the
+  /// hash. Not thread safe against concurrent writers; call between runs.
+  std::uint64_t imageHash() const;
+
 private:
   std::uint8_t *pagePtr(std::uint64_t Addr) {
     return pageFor(Addr >> PageBits) + (Addr & (PageSize - 1));

@@ -12,9 +12,12 @@ using namespace dae;
 
 namespace {
 
-/// Narrows a 128-bit intermediate back to 64 bits, asserting on overflow.
+/// Narrows a 128-bit intermediate back to 64 bits. Throws RationalOverflow
+/// when the value does not fit — unconditionally, in every build type, so a
+/// wrapped lattice-point count can never silently steer a hull decision.
 std::int64_t narrow(__int128 V) {
-  assert(V <= INT64_MAX && V >= INT64_MIN && "rational arithmetic overflow");
+  if (V > INT64_MAX || V < INT64_MIN)
+    throw RationalOverflow();
   return static_cast<std::int64_t>(V);
 }
 

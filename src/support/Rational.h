@@ -7,11 +7,13 @@
 ///
 /// \file
 /// An exact rational number over 64-bit integers, with 128-bit intermediates
-/// and overflow assertions. The polyhedral library (Fourier-Motzkin, vertex
-/// enumeration, convex hulls) is built on this type; loop nests in the paper
-/// are depth <= 3 with small coefficients, so 64 bits of reduced magnitude is
-/// ample in practice and any overflow aborts loudly instead of corrupting a
-/// transformation.
+/// and always-on overflow checking. The polyhedral library (Fourier-Motzkin,
+/// vertex enumeration, convex hulls) is built on this type; loop nests in the
+/// paper are depth <= 3 with small coefficients, so 64 bits of reduced
+/// magnitude is ample in practice. When a reduced result does not fit,
+/// arithmetic throws RationalOverflow in every build type — callers that make
+/// guard decisions from lattice-point counts (the section 5.1.2 hull test)
+/// must catch it and fail safe rather than act on a wrapped value.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,9 +22,21 @@
 
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace dae {
+
+/// Thrown when a rational result's reduced magnitude exceeds 64 bits.
+/// Checked unconditionally (not an assert): a silently wrapped lattice-point
+/// count would flip the hull-vs-skeleton guard without any diagnostic.
+class RationalOverflow : public std::overflow_error {
+public:
+  RationalOverflow()
+      : std::overflow_error(
+            "rational arithmetic overflow: reduced magnitude exceeds 64 bits") {
+  }
+};
 
 /// Exact rational p/q with q > 0 and gcd(p, q) == 1.
 class Rational {
@@ -83,7 +97,8 @@ private:
 
 /// Greatest common divisor of |A| and |B|; gcd(0, 0) == 0.
 std::int64_t gcd64(std::int64_t A, std::int64_t B);
-/// Least common multiple of |A| and |B|; asserts on overflow.
+/// Least common multiple of |A| and |B|; throws RationalOverflow when the
+/// result does not fit in 64 bits.
 std::int64_t lcm64(std::int64_t A, std::int64_t B);
 
 } // namespace dae

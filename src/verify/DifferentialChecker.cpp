@@ -1,0 +1,108 @@
+//===- verify/DifferentialChecker.cpp - Dynamic DAE oracle ----------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/DifferentialChecker.h"
+
+#include <algorithm>
+
+using namespace dae;
+using namespace dae::verify;
+using namespace dae::runtime;
+
+namespace {
+
+/// Byte snapshot of the named output arrays (same layout as the harness'
+/// output comparison: little-endian 8-byte words).
+std::vector<std::uint8_t> snapshotOutputs(const DifferentialSpec &Spec,
+                                          sim::Memory &Mem,
+                                          const sim::Loader &L) {
+  std::vector<std::uint8_t> Bytes;
+  for (size_t G = 0; G != Spec.OutputGlobals.size(); ++G) {
+    std::uint64_t Base = L.baseOf(Spec.OutputGlobals[G]);
+    for (std::uint64_t Off = 0; Off != Spec.OutputSizes[G]; Off += 8) {
+      std::int64_t V = Mem.loadI64(Base + Off);
+      for (int B = 0; B != 8; ++B)
+        Bytes.push_back(static_cast<std::uint8_t>(V >> (8 * B)));
+    }
+  }
+  return Bytes;
+}
+
+bool containsLine(const std::vector<std::uint64_t> &SortedLines,
+                  std::uint64_t Line) {
+  return std::binary_search(SortedLines.begin(), SortedLines.end(), Line);
+}
+
+} // namespace
+
+DifferentialResult
+DifferentialChecker::check(const std::vector<Task> &Tasks) const {
+  DifferentialResult R;
+  R.TotalTasks = Tasks.size();
+
+  // Run 1: with access phases, capturing what each phase touched.
+  RunCapture With;
+  std::uint64_t HashWith;
+  std::vector<std::uint8_t> OutWith;
+  {
+    sim::Memory Mem;
+    Spec.Init(Mem, L);
+    TaskRuntime RT(Cfg, Mem, L);
+    RT.execute(Tasks, /*RunAccess=*/true, &With);
+    HashWith = Mem.imageHash();
+    OutWith = snapshotOutputs(Spec, Mem, L);
+  }
+
+  // Run 2: access phases suppressed — the miss baseline and the reference
+  // memory image a pure prefetcher must reproduce bit for bit.
+  RunCapture Without;
+  std::uint64_t HashWithout;
+  std::vector<std::uint8_t> OutWithout;
+  {
+    sim::Memory Mem;
+    Spec.Init(Mem, L);
+    TaskRuntime RT(Cfg, Mem, L);
+    RT.execute(Tasks, /*RunAccess=*/false, &Without);
+    HashWithout = Mem.imageHash();
+    OutWithout = snapshotOutputs(Spec, Mem, L);
+  }
+
+  R.MemoryMatch = HashWith == HashWithout;
+  R.OutputsMatch = OutWith == OutWithout;
+
+  // The scheme's access-phase footprint: every line any decoupled task's
+  // access phase touched (the gate metric's reference set).
+  std::vector<std::uint64_t> Footprint;
+  for (const TaskCapture &W : With.Tasks)
+    if (W.HasAccess)
+      Footprint.insert(Footprint.end(), W.Access.Lines.begin(),
+                       W.Access.Lines.end());
+  std::sort(Footprint.begin(), Footprint.end());
+  Footprint.erase(std::unique(Footprint.begin(), Footprint.end()),
+                  Footprint.end());
+
+  // Coverage & overshoot, matched per original task index.
+  for (std::size_t I = 0; I != Tasks.size(); ++I) {
+    const TaskCapture &W = With.Tasks[I];
+    if (!W.HasAccess)
+      continue;
+    ++R.DecoupledTasks;
+
+    for (std::uint64_t Miss : Without.Tasks[I].Execute.MissLines) {
+      ++R.BaselineExecMisses;
+      if (containsLine(Footprint, Miss))
+        ++R.CoveredMisses;
+      if (containsLine(W.Access.Lines, Miss))
+        ++R.StrictCoveredMisses;
+    }
+
+    R.PrefetchedLines += W.Access.Lines.size();
+    for (std::uint64_t Line : W.Access.Lines)
+      if (!containsLine(W.Execute.Lines, Line))
+        ++R.UnusedPrefetchedLines;
+  }
+  return R;
+}

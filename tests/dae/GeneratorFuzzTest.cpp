@@ -10,7 +10,9 @@
 //       alone (the access phase is a pure prefetch),
 //   (3) for accepted affine hulls, NOrig <= NConvUn and the prefetched set
 //       covers the loads (execute-phase DRAM misses drop to zero when the
-//       task working set fits the private hierarchy).
+//       task working set fits the private hierarchy),
+//   (4) the AccessPhaseAudit proves every generated phase prefetch-pure
+//       (the static half of the verify/ oracle over the whole corpus).
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,9 +21,11 @@
 #include "ir/IRBuilder.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "pm/AnalysisManager.h"
 #include "sim/Interpreter.h"
 #include "support/Casting.h"
 #include "support/MathUtil.h"
+#include "verify/AccessPhaseAudit.h"
 
 #include <gtest/gtest.h>
 
@@ -164,6 +168,11 @@ TEST_P(AffineFuzz, GeneratedPhasePreservesSemantics) {
   EXPECT_TRUE(verifyFunction(*R.AccessFn).empty())
       << printFunction(*R.AccessFn);
 
+  pm::FunctionAnalysisManager FAM;
+  verify::AuditReport Audit = verify::auditAccessPhase(*R.AccessFn, FAM);
+  EXPECT_TRUE(Audit.pure()) << Audit.str() << "\n"
+                            << printFunction(*R.AccessFn);
+
   if (R.Strategy == analysis::TaskClass::Affine && R.NOrig >= 0 &&
       R.UsedConvexUnion) {
     EXPECT_LE(R.NOrig, R.NConvUn) << R.Notes;
@@ -191,6 +200,11 @@ TEST_P(SkeletonFuzz, GeneratedPhasePreservesSemantics) {
   ASSERT_TRUE(R.succeeded()) << R.Notes << "\n" << printFunction(*Task);
   EXPECT_TRUE(verifyFunction(*R.AccessFn).empty())
       << printFunction(*R.AccessFn);
+
+  pm::FunctionAnalysisManager FAM;
+  verify::AuditReport Audit = verify::auditAccessPhase(*R.AccessFn, FAM);
+  EXPECT_TRUE(Audit.pure()) << Audit.str() << "\n"
+                            << printFunction(*R.AccessFn);
 
   auto Plain = runAndSnapshot(M, nullptr, Task, 300);
   auto Decoupled = runAndSnapshot(M, R.AccessFn, Task, 300);

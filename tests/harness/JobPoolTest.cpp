@@ -1,0 +1,55 @@
+//===- tests/harness/JobPoolTest.cpp - Suite job pool tests -----------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/JobPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace dae::harness;
+
+namespace {
+
+TEST(JobPoolTest, EffectiveSimThreadsSplitsBudget) {
+  // 16 host threads over 4 jobs: 4 threads each, clamped by the request.
+  EXPECT_EQ(JobPool::effectiveSimThreads(4, 8, 16), 4u);
+  EXPECT_EQ(JobPool::effectiveSimThreads(4, 2, 16), 2u);
+  // Single job passes the request through untouched.
+  EXPECT_EQ(JobPool::effectiveSimThreads(1, 8, 2), 8u);
+}
+
+TEST(JobPoolTest, EffectiveSimThreadsSurvivesZeroBudget) {
+  // hardware_concurrency() may report 0 ("not computable"): the clamp must
+  // neither divide by zero nor hand out a zero allowance.
+  EXPECT_EQ(JobPool::effectiveSimThreads(4, 8, 0), 1u);
+  EXPECT_EQ(JobPool::effectiveSimThreads(1, 8, 0), 8u);
+  // Degenerate inputs are pinned to at least one job / one thread.
+  EXPECT_EQ(JobPool::effectiveSimThreads(0, 0, 0), 1u);
+  EXPECT_GE(JobPool::effectiveSimThreads(8, 4, 2), 1u);
+}
+
+TEST(JobPoolTest, HostThreadBudgetIsNeverZero) {
+  EXPECT_GE(JobPool::hostThreadBudget(), 1u);
+}
+
+TEST(JobPoolTest, RunsSubmittedJobsToCompletion) {
+  JobPool Pool(2, 1);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 32; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 32);
+  // Nested submission (a job fanning out more jobs) also drains.
+  Pool.submit([&] {
+    for (int I = 0; I != 4; ++I)
+      Pool.submit([&Count] { ++Count; });
+  });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 36);
+}
+
+} // namespace

@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/IRBuilder.h"
+#include "sim/AccessTrace.h"
 #include "sim/CacheSim.h"
 #include "sim/Interpreter.h"
+#include "sim/MachineConfig.h"
 #include "sim/Memory.h"
 #include "sim/PowerModel.h"
 
@@ -17,6 +19,63 @@ using namespace dae::ir;
 using namespace dae::sim;
 
 namespace {
+
+TEST(MachineConfigTest, VoltageClampsOffLadderFrequencies) {
+  MachineConfig Cfg;
+  // On-ladder queries are monotone in frequency.
+  EXPECT_LT(Cfg.voltageAt(Cfg.fmin()), Cfg.voltageAt(Cfg.fmax()));
+  // Off-ladder queries clamp to the rail instead of extrapolating: a sweep
+  // overshooting fmax (or an fmin-epsilon rounding artifact) must not
+  // fabricate voltages outside the machine's range.
+  EXPECT_DOUBLE_EQ(Cfg.voltageAt(0.0), Cfg.voltageAt(Cfg.fmin()));
+  EXPECT_DOUBLE_EQ(Cfg.voltageAt(-1.0), Cfg.voltageAt(Cfg.fmin()));
+  EXPECT_DOUBLE_EQ(Cfg.voltageAt(100.0), Cfg.voltageAt(Cfg.fmax()));
+  // Interior frequencies stay between the rails.
+  double Mid = Cfg.voltageAt(2.6);
+  EXPECT_GT(Mid, Cfg.voltageAt(Cfg.fmin()));
+  EXPECT_LT(Mid, Cfg.voltageAt(Cfg.fmax()));
+}
+
+TEST(TracePoolTest, RetainedBytesAreCapped) {
+  // Per-buffer cap: a huge-wave trace must not pin its capacity forever.
+  TracePool Pool(/*MaxPooled=*/4, /*MaxBufferBytes=*/1024,
+                 /*MaxTotalBytes=*/4096);
+  std::vector<std::uint64_t> Huge;
+  Huge.reserve(1024); // 8 KiB > per-buffer cap.
+  Pool.recycle(std::move(Huge));
+  EXPECT_EQ(Pool.pooledBuffers(), 0u);
+  EXPECT_EQ(Pool.retainedBytes(), 0u);
+
+  // Total cap: buffers under the per-buffer cap stop pooling once the
+  // free-list's summed capacity would exceed MaxTotalBytes.
+  for (int I = 0; I != 8; ++I) {
+    std::vector<std::uint64_t> Buf;
+    Buf.reserve(128); // 1 KiB each.
+    Pool.recycle(std::move(Buf));
+  }
+  EXPECT_LE(Pool.retainedBytes(), 4096u);
+  EXPECT_LE(Pool.pooledBuffers(), 4u);
+
+  // Acquire returns retained capacity and releases its accounting.
+  std::size_t Before = Pool.retainedBytes();
+  std::vector<std::uint64_t> Got = Pool.acquire();
+  EXPECT_GE(Got.capacity(), 128u);
+  EXPECT_LT(Pool.retainedBytes(), Before);
+}
+
+TEST(MemoryTest, ImageHashIgnoresUntouchedAndZeroPages) {
+  Memory A, B;
+  A.storeI64(0x1000, 7);
+  B.storeI64(0x1000, 7);
+  EXPECT_EQ(A.imageHash(), B.imageHash());
+  // Touching a page with zeroes (what a pure prefetcher's page allocation
+  // does) must not change the image.
+  B.storeI64(0x900000, 0);
+  EXPECT_EQ(A.imageHash(), B.imageHash());
+  // A real difference must.
+  B.storeI64(0x900000, 1);
+  EXPECT_NE(A.imageHash(), B.imageHash());
+}
 
 TEST(MemoryTest, RoundTripsValues) {
   Memory Mem;

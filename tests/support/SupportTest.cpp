@@ -32,6 +32,17 @@ TEST(RationalTest, Arithmetic) {
   EXPECT_EQ(-A, Rational(-1, 3));
 }
 
+TEST(RationalTest, OverflowThrowsInEveryBuildType) {
+  // 2^62 * 3 overflows the reduced 64-bit magnitude; before the checked
+  // narrow() this silently wrapped in Release builds and could flip the
+  // hull guard's lattice-point comparison.
+  Rational Big(std::int64_t(1) << 62);
+  EXPECT_THROW(Big * Rational(3), RationalOverflow);
+  EXPECT_THROW(Big + Big, RationalOverflow);
+  // Results that reduce back into range must not throw.
+  EXPECT_EQ(Big * Rational(1, 1 << 30), Rational(std::int64_t(1) << 32));
+}
+
 TEST(RationalTest, Comparisons) {
   EXPECT_LT(Rational(1, 3), Rational(1, 2));
   EXPECT_LE(Rational(2, 4), Rational(1, 2));

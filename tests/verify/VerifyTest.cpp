@@ -1,0 +1,279 @@
+//===- tests/verify/VerifyTest.cpp - DAE correctness oracle tests -----------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+// Exercises both halves of the verify/ oracle against deliberately broken
+// generator output — the bug classes the oracle exists to catch:
+//   * an access phase that keeps a live store (broken skeletonization) must
+//     be flagged by the static AccessPhaseAudit AND fail the dynamic
+//     differential's memory-image comparison;
+//   * an access phase that covers only one of two access classes (a hull
+//     that dropped an array) must pass purity but report coverage ~0.5,
+//     well under the 0.9 gate;
+// plus the positive path (a faithful prefetcher audits pure, runs pure, and
+// covers everything) and the audit's call/loop-shape findings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "pm/AnalysisManager.h"
+#include "runtime/Runtime.h"
+#include "verify/AccessPhaseAudit.h"
+#include "verify/DifferentialChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace dae;
+using namespace dae::ir;
+using namespace dae::runtime;
+using namespace dae::verify;
+
+namespace {
+
+constexpr std::int64_t N = 1 << 14; // 16 K doubles = 128 KiB per array.
+constexpr std::int64_t Elem = 8;
+constexpr unsigned NumTasks = 8;
+
+/// Two-input streaming workload: Dst[i] = SrcA[i] + SrcB[i]. The faithful
+/// access phase prefetches both sources; the broken variants each model one
+/// generator bug class.
+struct OracleFixture {
+  Module M;
+  Function *Exec = nullptr;
+  sim::MachineConfig Cfg;
+
+  OracleFixture() {
+    auto *SrcA = M.createGlobal("SrcA", N * Elem);
+    auto *SrcB = M.createGlobal("SrcB", N * Elem);
+    auto *Dst = M.createGlobal("Dst", N * Elem);
+    M.createGlobal("Scratch", 64);
+    M.createGlobal("Unused", N * Elem);
+    Exec = M.createFunction("sum2", Type::Void, {Type::Int64, Type::Int64});
+    IRBuilder B(M, Exec->createBlock("entry"));
+    emitCountedLoop(B, Exec->getArg(0), Exec->getArg(1), B.getInt(1), "i",
+                    [&](IRBuilder &B, Value *I) {
+      Value *A = B.createLoad(Type::Float64, B.createGep1D(SrcA, I, Elem));
+      Value *C = B.createLoad(Type::Float64, B.createGep1D(SrcB, I, Elem));
+      B.createStore(B.createFAdd(A, C), B.createGep1D(Dst, I, Elem));
+    });
+    B.createRet();
+  }
+
+  /// A hand-built access phase: prefetches SrcA (always) and SrcB (unless
+  /// \p DropSrcB — the "hull lost an access class" bug), and optionally
+  /// keeps a store into Scratch (the "skeleton kept a store" bug).
+  Function *makeAccess(const char *Name, bool DropSrcB, bool KeepStore) {
+    Function *F =
+        M.createFunction(Name, Type::Void, {Type::Int64, Type::Int64});
+    IRBuilder B(M, F->createBlock("entry"));
+    if (KeepStore)
+      B.createStore(B.getFloat(123.0),
+                    B.createGep1D(M.getGlobal("Scratch"), B.getInt(0), Elem));
+    emitCountedLoop(B, F->getArg(0), F->getArg(1), B.getInt(8), "p",
+                    [&](IRBuilder &B, Value *P) {
+      B.createPrefetch(B.createGep1D(M.getGlobal("SrcA"), P, Elem));
+      if (!DropSrcB)
+        B.createPrefetch(B.createGep1D(M.getGlobal("SrcB"), P, Elem));
+    });
+    B.createRet();
+    return F;
+  }
+
+  std::vector<Task> makeTasks(Function *Access) {
+    std::vector<Task> Tasks;
+    const std::int64_t Chunk = N / NumTasks;
+    for (unsigned T = 0; T != NumTasks; ++T)
+      Tasks.push_back({Exec,
+                       Access,
+                       {sim::RuntimeValue::ofInt(T * Chunk),
+                        sim::RuntimeValue::ofInt((T + 1) * Chunk)},
+                       0});
+    return Tasks;
+  }
+
+  DifferentialSpec makeSpec() const {
+    DifferentialSpec Spec;
+    Spec.Init = [](sim::Memory &Mem, const sim::Loader &L) {
+      std::uint64_t A = L.baseOf("SrcA"), B = L.baseOf("SrcB");
+      for (std::int64_t I = 0; I != N; ++I) {
+        Mem.storeF64(A + static_cast<std::uint64_t>(I * Elem),
+                     static_cast<double>(I) + 0.25);
+        Mem.storeF64(B + static_cast<std::uint64_t>(I * Elem),
+                     static_cast<double>(I) - 0.75);
+      }
+    };
+    Spec.OutputGlobals = {"Dst"};
+    Spec.OutputSizes = {N * Elem};
+    return Spec;
+  }
+
+  DifferentialResult runChecker(Function *Access) {
+    sim::Loader L(M);
+    DifferentialChecker Checker(Cfg, L, makeSpec());
+    return Checker.check(makeTasks(Access));
+  }
+};
+
+// --- Static half ---------------------------------------------------------
+
+TEST(AccessPhaseAuditTest, FaithfulPhaseIsPure) {
+  OracleFixture Fx;
+  Function *Good = Fx.makeAccess("good", false, false);
+  pm::FunctionAnalysisManager FAM;
+  AuditReport R = auditAccessPhase(*Good, FAM);
+  EXPECT_TRUE(R.pure()) << R.str();
+}
+
+TEST(AccessPhaseAuditTest, FlagsLiveStore) {
+  OracleFixture Fx;
+  Function *Bad = Fx.makeAccess("bad.store", false, true);
+  pm::FunctionAnalysisManager FAM;
+  AuditReport R = auditAccessPhase(*Bad, FAM);
+  ASSERT_FALSE(R.pure());
+  EXPECT_NE(R.str().find("store"), std::string::npos) << R.str();
+}
+
+TEST(AccessPhaseAuditTest, FlagsCall) {
+  OracleFixture Fx;
+  Function *Helper = Fx.M.createFunction("helper", Type::Void, {});
+  {
+    IRBuilder B(Fx.M, Helper->createBlock("entry"));
+    B.createRet();
+  }
+  Function *Bad =
+      Fx.M.createFunction("bad.call", Type::Void, {Type::Int64, Type::Int64});
+  {
+    IRBuilder B(Fx.M, Bad->createBlock("entry"));
+    B.createCall(Helper, {});
+    B.createRet();
+  }
+  pm::FunctionAnalysisManager FAM;
+  AuditReport R = auditAccessPhase(*Bad, FAM);
+  ASSERT_FALSE(R.pure());
+  EXPECT_NE(R.str().find("call"), std::string::npos) << R.str();
+}
+
+TEST(AccessPhaseAuditTest, FlagsNonCanonicalLoop) {
+  // A loop whose exit test is `iv != bound` with a hand-rolled backedge is
+  // not recognized as canonical, so its termination is not provable.
+  OracleFixture Fx;
+  Function *Bad = Fx.M.createFunction("bad.loop", Type::Void, {Type::Int64});
+  BasicBlock *Entry = Bad->createBlock("entry");
+  BasicBlock *Header = Bad->createBlock("header");
+  BasicBlock *Body = Bad->createBlock("body");
+  BasicBlock *Exit = Bad->createBlock("exit");
+  IRBuilder B(Fx.M, Entry);
+  B.createBr(Header);
+  B.setInsertBlock(Header);
+  PhiInst *Iv = B.createPhi(Type::Int64);
+  Iv->addIncoming(B.getInt(0), Entry);
+  Value *Done = B.createCmp(CmpPred::EQ, Iv, Bad->getArg(0));
+  B.createCondBr(Done, Exit, Body);
+  B.setInsertBlock(Body);
+  B.createPrefetch(B.createGep1D(Fx.M.getGlobal("SrcA"), Iv, Elem));
+  Value *Next = B.createAdd(Iv, B.getInt(3));
+  Iv->addIncoming(Next, Body);
+  B.createBr(Header);
+  B.setInsertBlock(Exit);
+  B.createRet();
+
+  pm::FunctionAnalysisManager FAM;
+  AuditReport R = auditAccessPhase(*Bad, FAM);
+  ASSERT_FALSE(R.pure());
+  EXPECT_NE(R.str().find("loop"), std::string::npos) << R.str();
+}
+
+// --- Dynamic half --------------------------------------------------------
+
+TEST(DifferentialCheckerTest, FaithfulPhasePassesAndCoversEverything) {
+  OracleFixture Fx;
+  DifferentialResult R = Fx.runChecker(Fx.makeAccess("good", false, false));
+  EXPECT_TRUE(R.MemoryMatch);
+  EXPECT_TRUE(R.OutputsMatch);
+  EXPECT_TRUE(R.pure());
+  EXPECT_EQ(R.DecoupledTasks, NumTasks);
+  EXPECT_GT(R.BaselineExecMisses, 0u);
+  EXPECT_DOUBLE_EQ(R.coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(R.strictCoverage(), 1.0);
+  EXPECT_DOUBLE_EQ(R.overshoot(), 0.0);
+}
+
+TEST(DifferentialCheckerTest, FlagsLiveStoreViaMemoryImage) {
+  // The store targets Scratch, which no output array covers: the output
+  // comparison alone would miss it, the memory-image hash must not.
+  OracleFixture Fx;
+  DifferentialResult R = Fx.runChecker(Fx.makeAccess("bad.store", false, true));
+  EXPECT_FALSE(R.MemoryMatch);
+  EXPECT_TRUE(R.OutputsMatch);
+  EXPECT_FALSE(R.pure());
+}
+
+TEST(DifferentialCheckerTest, FlagsDroppedAccessClassAsLowCoverage) {
+  // Prefetching only SrcA models a hull that lost the SrcB access class:
+  // the phase stays pure but roughly half the baseline misses (all of
+  // SrcB's) fall outside the access footprint — far below the 0.9 gate.
+  OracleFixture Fx;
+  DifferentialResult R = Fx.runChecker(Fx.makeAccess("bad.hull", true, false));
+  EXPECT_TRUE(R.pure());
+  EXPECT_LT(R.coverage(), 0.9);
+  EXPECT_NEAR(R.coverage(), 0.5, 0.1);
+  EXPECT_NEAR(R.strictCoverage(), 0.5, 0.1);
+}
+
+TEST(DifferentialCheckerTest, FootprintCoverageSpansTasks) {
+  // An access phase that prefetches a rotated, double-width SrcA window
+  // instead of its own task's chunk: per-task (strict) coverage collapses,
+  // but the union of all phases still blankets SrcA, so footprint coverage
+  // counts every SrcA miss as covered (and every SrcB miss as not).
+  OracleFixture Fx;
+  Function *F = Fx.M.createFunction("rotated.window", Type::Void,
+                                    {Type::Int64, Type::Int64});
+  {
+    IRBuilder B(Fx.M, F->createBlock("entry"));
+    Value *Lo = B.createSRem(B.createMul(F->getArg(0), B.getInt(2)),
+                             B.getInt(N));
+    emitCountedLoop(B, Lo, B.createAdd(Lo, B.getInt(2 * (N / NumTasks))),
+                    B.getInt(8), "p", [&](IRBuilder &B, Value *P) {
+      B.createPrefetch(B.createGep1D(Fx.M.getGlobal("SrcA"), P, Elem));
+    });
+    B.createRet();
+  }
+  DifferentialResult R = Fx.runChecker(F);
+  EXPECT_TRUE(R.pure());
+  EXPECT_NEAR(R.coverage(), 0.5, 0.1) << "SrcA in footprint, SrcB not";
+  EXPECT_LT(R.strictCoverage(), 0.2) << "own-chunk matching must collapse";
+}
+
+TEST(DifferentialCheckerTest, NoDecoupledTasksReportsVacuousSuccess) {
+  OracleFixture Fx;
+  DifferentialResult R = Fx.runChecker(nullptr);
+  EXPECT_TRUE(R.pure());
+  EXPECT_EQ(R.DecoupledTasks, 0u);
+  EXPECT_EQ(R.BaselineExecMisses, 0u);
+  EXPECT_DOUBLE_EQ(R.coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(R.overshoot(), 0.0);
+}
+
+TEST(DifferentialCheckerTest, OvershootCountsUnusedLines) {
+  // Prefetch both sources plus the Unused array, which no execute phase
+  // ever touches: a third of the prefetched lines are pure overshoot.
+  OracleFixture Fx;
+  Function *F = Fx.M.createFunction("over", Type::Void,
+                                    {Type::Int64, Type::Int64});
+  {
+    IRBuilder B(Fx.M, F->createBlock("entry"));
+    emitCountedLoop(B, F->getArg(0), F->getArg(1), B.getInt(8), "p",
+                    [&](IRBuilder &B, Value *P) {
+      B.createPrefetch(B.createGep1D(Fx.M.getGlobal("SrcA"), P, Elem));
+      B.createPrefetch(B.createGep1D(Fx.M.getGlobal("SrcB"), P, Elem));
+      B.createPrefetch(B.createGep1D(Fx.M.getGlobal("Unused"), P, Elem));
+    });
+    B.createRet();
+  }
+  DifferentialResult R = Fx.runChecker(F);
+  EXPECT_TRUE(R.pure());
+  EXPECT_DOUBLE_EQ(R.coverage(), 1.0);
+  EXPECT_NEAR(R.overshoot(), 1.0 / 3.0, 0.05);
+}
+
+} // namespace
