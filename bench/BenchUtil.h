@@ -77,6 +77,22 @@ inline unsigned jobsFromArgs(int Argc, char **Argv) {
   return 1u;
 }
 
+/// Pipelined wave simulation switch: on by default; `--no-replay-overlap`
+/// (or DAECC_REPLAY_OVERLAP=0) keeps the timing replay inline with the
+/// functional pass instead of overlapping it with the next wave. Either
+/// setting produces bit-identical simulated results (see
+/// MachineConfig::ReplayOverlap); the flag only exists to measure the
+/// overlap's host-side win and to simplify debugging.
+inline bool replayOverlapFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--no-replay-overlap") == 0)
+      return false;
+  const char *Env = std::getenv("DAECC_REPLAY_OVERLAP");
+  if (Env && Env[0] == '0')
+    return false;
+  return true;
+}
+
 /// Compilation-pipeline switches shared by the drivers: `--verify-each` and
 /// `--print-after-all` flip pm::config() (same effect as DAECC_VERIFY_EACH=1
 /// / DAECC_PRINT_AFTER_ALL=1); returns true when `--pass-stats` was given,
@@ -158,6 +174,20 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 ///                                     covered_misses, strict_covered_misses,
 ///                                     prefetched_lines, unused_lines,
 ///                                     decoupled_tasks
+///   replay_overlap            object  pipelined wave simulation telemetry:
+///                                       enabled                  bool    the
+///                                         run's effective setting
+///                                         (--no-replay-overlap /
+///                                         DAECC_REPLAY_OVERLAP)
+///                                       wall_seconds             double  same
+///                                         as the top-level wall_seconds
+///                                       no_overlap_wall_seconds  double  wall
+///                                         clock of a separately measured
+///                                         --no-replay-overlap run of the
+///                                         same suite; -1 when not measured
+///                                       speedup                  double
+///                                         no_overlap_wall_seconds /
+///                                         wall_seconds; -1 when not measured
 ///   failures                  int     apps whose schemes disagreed (or
 ///                                     otherwise failed)
 ///   status                    string  "started" while running, then "ok"
@@ -181,6 +211,15 @@ public:
   /// Wall clock of a separately measured sequential (--jobs=1) run of the
   /// same suite, enabling the speedup_vs_jobs1 field.
   void setBaseline(double Jobs1Seconds) { BaselineSeconds = Jobs1Seconds; }
+
+  /// Records the run's effective replay-overlap setting for the
+  /// replay_overlap JSON block.
+  void setReplayOverlap(bool Enabled) { ReplayOverlap = Enabled; }
+  /// Wall clock of a separately measured --no-replay-overlap run of the same
+  /// suite, enabling the replay_overlap speedup field.
+  void setNoOverlapBaseline(double NoOverlapSecs) {
+    NoOverlapSeconds = NoOverlapSecs;
+  }
 
   /// Records one (app, scheme) oracle verdict for the dae_verify JSON block
   /// and prints the human-readable line. Impure verdicts also count as
@@ -255,6 +294,9 @@ private:
     double Speedup =
         BaselineSeconds > 0.0 && Seconds > 0.0 ? BaselineSeconds / Seconds
                                                : -1.0;
+    double OverlapSpeedup =
+        NoOverlapSeconds > 0.0 && Seconds > 0.0 ? NoOverlapSeconds / Seconds
+                                                : -1.0;
     std::string DaeVerify = "[";
     for (size_t I = 0; I != DaeVerifyEntries.size(); ++I) {
       DaeVerify += I ? ", " : "";
@@ -275,6 +317,9 @@ private:
                    "  \"speedup_vs_jobs1\": %.3f,\n"
                    "  \"pass_stats\": %s,\n"
                    "  \"dae_verify\": %s,\n"
+                   "  \"replay_overlap\": {\"enabled\": %s, "
+                   "\"wall_seconds\": %.6f, "
+                   "\"no_overlap_wall_seconds\": %.6f, \"speedup\": %.3f},\n"
                    "  \"failures\": %u,\n"
                    "  \"status\": \"%s\"\n"
                    "}\n",
@@ -282,7 +327,9 @@ private:
                    static_cast<unsigned long long>(Instructions), Ips,
                    BaselineSeconds > 0.0 ? BaselineSeconds : -1.0, Speedup,
                    pm::PipelineStats::get().json().c_str(), DaeVerify.c_str(),
-                   Failures, Status);
+                   ReplayOverlap ? "true" : "false", Seconds,
+                   NoOverlapSeconds > 0.0 ? NoOverlapSeconds : -1.0,
+                   OverlapSpeedup, Failures, Status);
       std::fclose(F);
     }
   }
@@ -291,7 +338,9 @@ private:
   unsigned SimThreads;
   unsigned Jobs;
   unsigned Failures = 0;
+  bool ReplayOverlap = true;
   double BaselineSeconds = -1.0;
+  double NoOverlapSeconds = -1.0;
   std::uint64_t Instructions = 0;
   std::vector<std::string> DaeVerifyEntries;
   std::chrono::steady_clock::time_point Start, End;

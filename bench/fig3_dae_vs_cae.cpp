@@ -68,18 +68,21 @@ int main(int Argc, char **Argv) {
   workloads::Scale S = scaleFromArgs(Argc, Argv);
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
+  Cfg.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
   const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
   const bool DaeVerify = daeVerifyFromArgs(Argc, Argv);
-  bool MeasureBaseline = Jobs > 1;
+  bool NoBaseline = false;
   for (int I = 1; I < Argc; ++I)
     if (std::strcmp(Argv[I], "--no-baseline") == 0)
-      MeasureBaseline = false;
+      NoBaseline = true;
+  const bool MeasureBaseline = Jobs > 1 && !NoBaseline;
 
   std::printf("Figure 3: DAE vs regular task execution "
               "(quad-core, 500 ns DVFS transitions)\n");
 
   ThroughputReporter Throughput("fig3_dae_vs_cae", Cfg.SimThreads, Jobs);
+  Throughput.setReplayOverlap(Cfg.ReplayOverlap);
   auto Workloads = workloads::buildAll(S);
   std::vector<SuiteItem> Items;
   for (auto &W : Workloads)
@@ -125,6 +128,30 @@ int main(int Argc, char **Argv) {
     auto T1 = std::chrono::steady_clock::now();
     Throughput.setBaseline(std::chrono::duration<double>(T1 - T0).count());
     (void)BaseResults;
+  }
+
+  // Overlap-off reference for the replay_overlap speedup field: same jobs
+  // and sim threads, pipelined replay disabled. Only meaningful when the
+  // main run overlapped (the gate needs SimThreads > 1); skipped together
+  // with the jobs baseline via --no-baseline.
+  if (Cfg.ReplayOverlap && Cfg.SimThreads > 1 && !NoBaseline) {
+    auto RefWorkloads = workloads::buildAll(S);
+    std::vector<SuiteItem> RefItems;
+    for (auto &W : RefWorkloads)
+      RefItems.push_back({W.get(), nullptr});
+    GenerationMemo RefMemo;
+    sim::MachineConfig RefCfg = Cfg;
+    RefCfg.ReplayOverlap = false;
+    SuiteConfig RefSC;
+    RefSC.Jobs = Jobs;
+    RefSC.SimThreads = Cfg.SimThreads;
+    RefSC.Memo = &RefMemo;
+    auto T0 = std::chrono::steady_clock::now();
+    std::vector<AppResult> RefResults = runSuite(RefItems, RefCfg, RefSC);
+    auto T1 = std::chrono::steady_clock::now();
+    Throughput.setNoOverlapBaseline(
+        std::chrono::duration<double>(T1 - T0).count());
+    (void)RefResults;
   }
 
   for (double Latency : {500.0, 0.0}) {

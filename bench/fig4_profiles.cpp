@@ -54,6 +54,7 @@ int main(int Argc, char **Argv) {
   workloads::Scale S = scaleFromArgs(Argc, Argv);
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
+  Cfg.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
   const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
 
@@ -76,6 +77,7 @@ int main(int Argc, char **Argv) {
   SC.DaeVerify = daeVerifyFromArgs(Argc, Argv);
 
   ThroughputReporter Throughput("fig4_profiles", Cfg.SimThreads, Jobs);
+  Throughput.setReplayOverlap(Cfg.ReplayOverlap);
   Throughput.start();
   std::vector<AppResult> Results = runSuite(Items, Cfg, SC);
   Throughput.stop();

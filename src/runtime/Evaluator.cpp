@@ -17,7 +17,10 @@ using namespace dae::sim;
 namespace {
 
 /// Ladder frequency minimizing the local EDP of one phase: EDP_phase =
-/// t(f)^2 * P(f) = t(f) * E(f).
+/// t(f)^2 * P(f) = t(f) * E(f). Exact EDP ties break toward the *lower*
+/// frequency (the cheaper operating point), independent of the order the
+/// ladder happens to be listed in — a first-match scan would silently pick
+/// whichever tied frequency appeared first.
 double bestEdpFrequency(const PhaseStats &S, const MachineConfig &Cfg,
                         const PowerModel &PM) {
   double BestF = Cfg.fmax();
@@ -25,7 +28,7 @@ double bestEdpFrequency(const PhaseStats &S, const MachineConfig &Cfg,
   for (double F : Cfg.FrequenciesGHz) {
     double T = S.timeNs(F) * 1e-9;
     double Edp = T * PM.phaseEnergy(S, F);
-    if (BestEdp < 0.0 || Edp < BestEdp) {
+    if (BestEdp < 0.0 || Edp < BestEdp || (Edp == BestEdp && F < BestF)) {
       BestEdp = Edp;
       BestF = F;
     }
@@ -51,13 +54,19 @@ RunReport runtime::evaluate(const RunProfile &Profile,
 
   auto RunPhase = [&](unsigned Core, const PhaseStats &S, double FreqGHz,
                       bool IsAccess) {
-    // Frequency switch: latency + static-only energy (section 6.1).
-    if (TransNs > 0.0 && std::abs(CoreFreq[Core] - FreqGHz) > 1e-9) {
-      CoreBusyNs[Core] += TransNs;
-      CoreEnergyJ[Core] +=
-          PM.staticPowerPerCore(FreqGHz) * TransNs * 1e-9;
-      R.OsiTimeSec += TransNs * 1e-9;
+    // Frequency switch: the transition happens (and is counted, and the
+    // core's frequency tracked) whenever the policy changes frequency;
+    // latency + static-only energy (section 6.1) are charged only when the
+    // hardware transition takes time. Gating the whole block on TransNs used
+    // to report 0 transitions and a stale CoreFreq for the ideal 0 ns case.
+    if (std::abs(CoreFreq[Core] - FreqGHz) > 1e-9) {
       ++R.NumTransitions;
+      if (TransNs > 0.0) {
+        CoreBusyNs[Core] += TransNs;
+        CoreEnergyJ[Core] +=
+            PM.staticPowerPerCore(FreqGHz) * TransNs * 1e-9;
+        R.OsiTimeSec += TransNs * 1e-9;
+      }
       CoreFreq[Core] = FreqGHz;
     }
     double TNs = S.timeNs(FreqGHz);
@@ -68,6 +77,13 @@ RunReport runtime::evaluate(const RunProfile &Profile,
 
   double IdleEnergyJ = 0.0;
   double MakespanNs = 0.0;
+
+  // Runtime bookkeeping (dequeue/hand-off) is the same for every task; only
+  // the frequency it is priced at varies, so build the stats once.
+  PhaseStats Overhead;
+  Overhead.ComputeCycles = Profile.PerTaskOverheadCycles;
+  Overhead.Instructions =
+      static_cast<std::uint64_t>(Profile.PerTaskOverheadCycles);
 
   // Process wave by wave: within a wave cores run their assigned phases;
   // the barrier advances every core to the wave's completion time, with
@@ -94,10 +110,6 @@ RunReport runtime::evaluate(const RunProfile &Profile,
       // Runtime bookkeeping (dequeue/hand-off) at the execute frequency.
       double OverheadNs = Profile.PerTaskOverheadCycles / FE;
       CoreBusyNs[Core] += OverheadNs;
-      PhaseStats Overhead;
-      Overhead.ComputeCycles = Profile.PerTaskOverheadCycles;
-      Overhead.Instructions =
-          static_cast<std::uint64_t>(Profile.PerTaskOverheadCycles);
       CoreEnergyJ[Core] += PM.phaseEnergy(Overhead, FE);
       R.OsiTimeSec += OverheadNs * 1e-9;
       WaveBusyNs[Core] += CoreBusyNs[Core] - Before;

@@ -15,15 +15,27 @@
 //  2. Timing pass — single-threaded. The exact greedy min-time /
 //     steal-from-longest-queue schedule of the original engine picks tasks,
 //     and each chosen task's traces are replayed through the per-core L1/L2
-//     and shared LLC in schedule order. Hit/miss outcomes therefore never
-//     depend on host interleaving: profiles are bit-identical for any
-//     --sim-threads value, including 1.
+//     and shared LLC in schedule order (runtime/Replay.h). Hit/miss outcomes
+//     therefore never depend on host interleaving: profiles are bit-identical
+//     for any --sim-threads value, including 1.
+//
+// The two passes are pipelined across waves (MachineConfig::ReplayOverlap):
+// a dedicated replay thread consumes completed waves strictly in order while
+// the worker pool already executes the next wave's functional pass. This is
+// legal because next-wave functional execution depends only on prior waves'
+// *memory* effects (established before its functional pass starts), never on
+// timing, and all timing state — cache hierarchy, per-core clocks, profile
+// order — is owned exclusively by the replay thread until the run completes.
+// Wave payloads live in two alternating slots, so trace buffers recycle
+// through the TracePool with one wave in flight on each side and no
+// cross-wave contention on the WaveResult vectors themselves.
 //
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Runtime.h"
 
 #include "ir/Function.h"
+#include "runtime/Replay.h"
 #include "sim/AccessTrace.h"
 #include "sim/Interpreter.h"
 
@@ -149,146 +161,27 @@ struct WaveResult {
   AccessTrace AccessTr, ExecTr;
 };
 
-/// Streams a recorded access trace through the hierarchy as \p Core, adding
-/// the cache-dependent statistics to \p S. The per-kind accounting matches
-/// the fused interpreter's inline cost model statement for statement. When
-/// \p Cap is non-null, every event's cache line lands in Cap->Lines and
-/// every DRAM-missing demand access in Cap->MissLines (oracle capture; has
-/// no effect on any simulated outcome).
-void replayTrace(const AccessTrace &Tr, CacheHierarchy &Caches, unsigned Core,
-                 const MachineConfig &Cfg, PhaseStats &S,
-                 PhaseCapture *Cap = nullptr, std::uint64_t LineBytes = 64) {
-  for (std::uint64_t E : Tr.events()) {
-    std::uint64_t Addr = AccessTrace::addrOf(E);
-    HitLevel Level = Caches.access(Core, Addr);
-    if (Cap) {
-      std::uint64_t Line = Addr / LineBytes;
-      Cap->Lines.push_back(Line);
-      if (Level == HitLevel::Memory &&
-          AccessTrace::kindOf(E) == AccessTrace::Kind::Load)
-        Cap->MissLines.push_back(Line);
-    }
-    switch (AccessTrace::kindOf(E)) {
-    case AccessTrace::Kind::Load:
-      switch (Level) {
-      case HitLevel::L1:
-        ++S.L1Hits;
-        S.ComputeCycles += Cfg.L1HitCycles;
-        break;
-      case HitLevel::L2:
-        ++S.L2Hits;
-        S.ComputeCycles += Cfg.L2HitCycles;
-        break;
-      case HitLevel::LLC:
-        ++S.LLCHits;
-        S.ComputeCycles += Cfg.LLCHitCycles;
-        break;
-      case HitLevel::Memory:
-        ++S.MemAccesses;
-        S.StallNs += Cfg.MemLatencyNs / Cfg.LoadMlp;
-        break;
-      }
-      break;
-    case AccessTrace::Kind::Store:
-      switch (Level) {
-      case HitLevel::L1:
-        ++S.L1Hits;
-        break;
-      case HitLevel::L2:
-        ++S.L2Hits;
-        S.ComputeCycles += Cfg.L2HitCycles * 0.5;
-        break;
-      case HitLevel::LLC:
-        ++S.LLCHits;
-        S.ComputeCycles += Cfg.LLCHitCycles * 0.5;
-        break;
-      case HitLevel::Memory:
-        ++S.MemAccesses;
-        S.StallNs += Cfg.MemLatencyNs / Cfg.StoreMlp;
-        break;
-      }
-      break;
-    case AccessTrace::Kind::Prefetch:
-      switch (Level) {
-      case HitLevel::L1:
-      case HitLevel::L2:
-        break;
-      case HitLevel::LLC:
-        S.StallNs += Cfg.LLCHitCycles / Cfg.fmax() / Cfg.PrefetchMlp;
-        break;
-      case HitLevel::Memory:
-        ++S.MemAccesses;
-        S.StallNs += Cfg.MemLatencyNs / Cfg.PrefetchMlp;
-        break;
-      }
-      break;
-    }
-  }
-}
+/// The timing half of the engine: greedy schedule + trace replay. All state
+/// that the replay mutates — cache hierarchy, per-core clocks, the profile's
+/// task order, the oracle capture — lives here and is only ever touched by
+/// one thread at a time: the caller when replay is inline, the dedicated
+/// replay thread when the wave pipeline is active.
+class ReplayEngine {
+public:
+  ReplayEngine(const MachineConfig &Cfg, unsigned NumCores,
+               RunProfile &Profile, RunCapture *Capture, const Task *TaskBase)
+      : Cfg(Cfg), Costs(Cfg), Caches(Cfg, NumCores), Profile(Profile),
+        Capture(Capture), TaskBase(TaskBase),
+        LineShift(lineShiftOf(Cfg.L1.LineBytes)),
+        CoreTimeNs(NumCores, 0.0) {}
 
-} // namespace
-
-TaskRuntime::TaskRuntime(const MachineConfig &Cfg, Memory &Mem,
-                         const sim::Loader &L)
-    : Cfg(Cfg), Mem(Mem), Loader(L) {}
-
-RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
-                                RunCapture *Capture) {
-  const unsigned NumCores = Cfg.NumCores;
-  CacheHierarchy Caches(Cfg, NumCores);
-
-  if (Capture) {
-    Capture->LineBytes = Cfg.LLC.LineBytes;
-    Capture->Tasks.assign(Tasks.size(), TaskCapture());
-  }
-
-  // Compile every task function (and transitive callees) up front; the
-  // program is read-only from here on and shared by all workers.
-  CompiledProgram Program(Cfg, Loader);
-  for (const Task &T : Tasks) {
-    Program.add(*T.Execute);
-    if (T.Access)
-      Program.add(*T.Access);
-  }
-
-  WorkerPool Pool(Cfg.SimThreads);
-  std::vector<std::unique_ptr<Interpreter>> Interps;
-  Interps.reserve(Pool.workers());
-  for (unsigned W = 0; W != Pool.workers(); ++W)
-    Interps.push_back(
-        std::make_unique<Interpreter>(Cfg, Mem, Loader, &Program));
-
-  RunProfile Profile;
-  Profile.NumCores = NumCores;
-  Profile.Tasks.reserve(Tasks.size());
-
-  // Group into dependency waves; the runtime barriers between them.
-  std::map<unsigned, std::vector<const Task *>> Waves;
-  for (const Task &T : Tasks)
-    Waves[T.Wave].push_back(&T);
-
-  std::vector<double> CoreTimeNs(NumCores, 0.0);
-  std::vector<WaveResult> Results;
-  for (auto &[WaveId, WaveTasks] : Waves) {
-    // Functional pass: compute values and record access traces for every
-    // task of the wave, in parallel across the pool.
-    Results.clear();
-    Results.resize(WaveTasks.size());
-    Pool.run(WaveTasks.size(), [&](std::size_t I, unsigned Worker) {
-      const Task &T = *WaveTasks[I];
-      WaveResult &R = Results[I];
-      Interpreter &Interp = *Interps[Worker];
-      if (RunAccess && T.Access) {
-        R.HasAccess = true;
-        R.AccessTr.acquireFrom(TracePool::global());
-        R.Access = Interp.runTraced(*T.Access, T.Args, R.AccessTr);
-      }
-      R.ExecTr.acquireFrom(TracePool::global());
-      R.Execute = Interp.runTraced(*T.Execute, T.Args, R.ExecTr);
-    });
-
-    // Timing pass: the original greedy schedule, replaying each chosen
-    // task's traces through the caches in schedule order.
+  /// Replays one completed wave: the exact greedy min-time /
+  /// steal-from-longest-queue schedule picks tasks, and each chosen task's
+  /// traces stream through the caches in schedule order. Waves must be
+  /// replayed in ascending order.
+  void replayWave(unsigned WaveId, const std::vector<const Task *> &WaveTasks,
+                  std::vector<WaveResult> &Results) {
+    const unsigned NumCores = static_cast<unsigned>(CoreTimeNs.size());
     std::vector<std::deque<std::size_t>> Queues(NumCores);
     for (std::size_t I = 0; I != WaveTasks.size(); ++I)
       Queues[I % NumCores].push_back(I);
@@ -323,7 +216,7 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
       TaskCapture *Cap = nullptr;
       if (Capture) {
         // Original task index: WaveTasks holds pointers into Tasks.
-        Cap = &Capture->Tasks[WaveTasks[Chosen] - Tasks.data()];
+        Cap = &Capture->Tasks[WaveTasks[Chosen] - TaskBase];
       }
       TaskProfile TP;
       TP.Core = Core;
@@ -333,15 +226,13 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
         TP.Access = R.Access;
         if (Cap)
           Cap->HasAccess = true;
-        replayTrace(R.AccessTr, Caches, Core, Cfg, TP.Access,
-                    Cap ? &Cap->Access : nullptr,
-                    Capture ? Capture->LineBytes : 64);
+        replayTrace(R.AccessTr, Caches, Core, Costs, TP.Access,
+                    Cap ? &Cap->Access : nullptr, LineShift);
         R.AccessTr.releaseTo(TracePool::global());
       }
       TP.Execute = R.Execute;
-      replayTrace(R.ExecTr, Caches, Core, Cfg, TP.Execute,
-                  Cap ? &Cap->Execute : nullptr,
-                  Capture ? Capture->LineBytes : 64);
+      replayTrace(R.ExecTr, Caches, Core, Costs, TP.Execute,
+                  Cap ? &Cap->Execute : nullptr, LineShift);
       R.ExecTr.releaseTo(TracePool::global());
 
       CoreTimeNs[Core] += TP.Access.timeNs(Cfg.fmax()) +
@@ -355,6 +246,157 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
     double WaveEnd = *std::max_element(CoreTimeNs.begin(), CoreTimeNs.end());
     for (double &T : CoreTimeNs)
       T = WaveEnd;
+  }
+
+private:
+  const MachineConfig &Cfg;
+  ReplayCostModel Costs;
+  CacheHierarchy Caches;
+  RunProfile &Profile;
+  RunCapture *Capture;
+  const Task *TaskBase;
+  unsigned LineShift;
+  std::vector<double> CoreTimeNs;
+};
+
+} // namespace
+
+TaskRuntime::TaskRuntime(const MachineConfig &Cfg, Memory &Mem,
+                         const sim::Loader &L)
+    : Cfg(Cfg), Mem(Mem), Loader(L) {}
+
+RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
+                                RunCapture *Capture) {
+  const unsigned NumCores = Cfg.NumCores;
+
+  if (Capture) {
+    // Capture granularity is the (validated) L1 line size — the same
+    // granularity the cache model indexes sets with, so oracle lines and
+    // simulated lines can never disagree.
+    Capture->LineBytes = Cfg.L1.LineBytes;
+    Capture->Tasks.assign(Tasks.size(), TaskCapture());
+  }
+
+  // Compile every task function (and transitive callees) up front; the
+  // program is read-only from here on and shared by all workers.
+  CompiledProgram Program(Cfg, Loader);
+  for (const Task &T : Tasks) {
+    Program.add(*T.Execute);
+    if (T.Access)
+      Program.add(*T.Access);
+  }
+
+  WorkerPool Pool(Cfg.SimThreads);
+  std::vector<std::unique_ptr<Interpreter>> Interps;
+  Interps.reserve(Pool.workers());
+  for (unsigned W = 0; W != Pool.workers(); ++W)
+    Interps.push_back(
+        std::make_unique<Interpreter>(Cfg, Mem, Loader, &Program));
+
+  RunProfile Profile;
+  Profile.NumCores = NumCores;
+  Profile.Tasks.reserve(Tasks.size());
+
+  // Group into dependency waves; the runtime barriers between them.
+  std::map<unsigned, std::vector<const Task *>> Waves;
+  for (const Task &T : Tasks)
+    Waves[T.Wave].push_back(&T);
+
+  ReplayEngine Replay(Cfg, NumCores, Profile, Capture, Tasks.data());
+
+  // Functional pass of one wave into \p Results, in parallel across the
+  // pool: compute values and record access traces for every task.
+  auto RunFunctional = [&](const std::vector<const Task *> &WaveTasks,
+                           std::vector<WaveResult> &Results) {
+    Results.clear();
+    Results.resize(WaveTasks.size());
+    Pool.run(WaveTasks.size(), [&](std::size_t I, unsigned Worker) {
+      const Task &T = *WaveTasks[I];
+      WaveResult &R = Results[I];
+      Interpreter &Interp = *Interps[Worker];
+      if (RunAccess && T.Access) {
+        R.HasAccess = true;
+        R.AccessTr.acquireFrom(TracePool::global());
+        R.Access = Interp.runTraced(*T.Access, T.Args, R.AccessTr);
+      }
+      R.ExecTr.acquireFrom(TracePool::global());
+      R.Execute = Interp.runTraced(*T.Execute, T.Args, R.ExecTr);
+    });
+  };
+
+  // Overlap only pays when another wave's functional pass can run during a
+  // replay; a single wave (or the sequential --sim-threads=1 reference)
+  // keeps replay inline on this thread.
+  const bool Overlap =
+      Cfg.ReplayOverlap && Cfg.SimThreads > 1 && Waves.size() > 1;
+
+  if (!Overlap) {
+    std::vector<WaveResult> Results;
+    for (auto &[WaveId, WaveTasks] : Waves) {
+      RunFunctional(WaveTasks, Results);
+      Replay.replayWave(WaveId, WaveTasks, Results);
+    }
+  } else {
+    // Two wave slots alternate between the producer (this thread: functional
+    // pass) and the consumer (replay thread). The replay thread visits slots
+    // in the same alternating order waves were filled, so waves replay
+    // strictly in order; the mutex hands each slot's contents across threads
+    // with the necessary happens-before edges.
+    struct WaveSlot {
+      unsigned WaveId = 0;
+      const std::vector<const Task *> *WaveTasks = nullptr;
+      std::vector<WaveResult> Results;
+      bool Full = false;
+    };
+    WaveSlot Slots[2];
+    std::mutex M;
+    std::condition_variable SlotFull, SlotEmpty;
+    bool NoMoreWaves = false;
+
+    std::thread Replayer([&] {
+      unsigned S = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> Lock(M);
+          SlotFull.wait(Lock,
+                        [&] { return Slots[S].Full || NoMoreWaves; });
+          if (!Slots[S].Full)
+            return; // NoMoreWaves and nothing pending in order.
+        }
+        Replay.replayWave(Slots[S].WaveId, *Slots[S].WaveTasks,
+                          Slots[S].Results);
+        {
+          std::lock_guard<std::mutex> Lock(M);
+          Slots[S].Full = false;
+        }
+        SlotEmpty.notify_one();
+        S ^= 1;
+      }
+    });
+
+    unsigned S = 0;
+    for (auto &[WaveId, WaveTasks] : Waves) {
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        SlotEmpty.wait(Lock, [&] { return !Slots[S].Full; });
+      }
+      WaveSlot &Slot = Slots[S];
+      Slot.WaveId = WaveId;
+      Slot.WaveTasks = &WaveTasks;
+      RunFunctional(WaveTasks, Slot.Results);
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        Slot.Full = true;
+      }
+      SlotFull.notify_one();
+      S ^= 1;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      NoMoreWaves = true;
+    }
+    SlotFull.notify_one();
+    Replayer.join();
   }
   assert(Profile.Tasks.size() == Tasks.size() && "lost tasks");
 

@@ -14,8 +14,12 @@
 /// The engine itself is host-parallel: each wave's functional execution fans
 /// out over MachineConfig::SimThreads worker threads, while cache timing is
 /// replayed single-threaded in schedule order from recorded access traces,
-/// so RunProfiles are bit-identical for every thread count (see DESIGN.md,
-/// "Host-parallel simulation").
+/// so RunProfiles are bit-identical for every thread count. With
+/// MachineConfig::ReplayOverlap (the default), the two passes pipeline:
+/// wave N replays on a dedicated thread while wave N+1 executes
+/// functionally — the replay thread owns all timing state and consumes
+/// waves strictly in order, so results are unchanged (see DESIGN.md,
+/// "Host-parallel simulation" and "Pipelined replay").
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,6 +63,10 @@ struct TaskCapture {
 /// Whole-run capture. Purely observational: requesting one changes no
 /// simulated outcome (asserted by SnapshotTest's golden profiles).
 struct RunCapture {
+  /// Line granularity of every Lines/MissLines entry. Set by execute() to
+  /// the (validated, power-of-two) L1 line size — the same granularity the
+  /// cache model indexes sets with, so capture lines and simulated lines
+  /// can never disagree.
   std::uint64_t LineBytes = 64;
   std::vector<TaskCapture> Tasks;
 };

@@ -11,67 +11,20 @@
 using namespace dae;
 using namespace dae::sim;
 
-namespace {
-
-unsigned log2u(std::uint64_t V) {
-  unsigned R = 0;
-  while ((1ull << R) < V)
-    ++R;
-  return R;
-}
-
-} // namespace
-
 Cache::Cache(const CacheConfig &Cfg)
-    : LineShift(log2u(Cfg.LineBytes)),
+    : LineShift(lineShiftOf(Cfg.LineBytes)),
       NumSets(Cfg.SizeBytes / (Cfg.LineBytes * Cfg.Assoc)), Assoc(Cfg.Assoc),
-      Lines(NumSets * Cfg.Assoc) {
+      Tags(NumSets * Cfg.Assoc, InvalidTag), Lrus(NumSets * Cfg.Assoc, 0) {
   assert(NumSets > 0 && (NumSets & (NumSets - 1)) == 0 &&
          "set count must be a power of two");
 }
 
-bool Cache::access(std::uint64_t Addr) {
-  std::uint64_t LineAddr = Addr >> LineShift;
-  std::uint64_t Set = LineAddr & (NumSets - 1);
-  Line *Base = &Lines[Set * Assoc];
-  ++Tick;
-
-  for (unsigned W = 0; W != Assoc; ++W) {
-    Line &L = Base[W];
-    if (L.Valid && L.Tag == LineAddr) {
-      L.Lru = Tick;
-      ++Hits;
-      return true;
-    }
-  }
-  // Miss: evict the first invalid way, else the least recently used.
-  Line *Victim = Base;
-  for (unsigned W = 1; W != Assoc && Victim->Valid; ++W) {
-    Line &L = Base[W];
-    if (!L.Valid || L.Lru < Victim->Lru)
-      Victim = &L;
-  }
-  Victim->Valid = true;
-  Victim->Tag = LineAddr;
-  Victim->Lru = Tick;
-  ++Misses;
-  return false;
-}
-
-bool Cache::probe(std::uint64_t Addr) const {
-  std::uint64_t LineAddr = Addr >> LineShift;
-  std::uint64_t Set = LineAddr & (NumSets - 1);
-  const Line *Base = &Lines[Set * Assoc];
-  for (unsigned W = 0; W != Assoc; ++W)
-    if (Base[W].Valid && Base[W].Tag == LineAddr)
-      return true;
-  return false;
-}
-
 void Cache::flush() {
-  for (Line &L : Lines)
-    L = Line();
+  Tags.assign(Tags.size(), InvalidTag);
+  Lrus.assign(Lrus.size(), 0);
   Hits = Misses = 0;
+  LastLineAddr = InvalidTag;
+  LastWay = 0;
 }
 
 CacheHierarchy::CacheHierarchy(const MachineConfig &Cfg, unsigned NumCores)
@@ -83,24 +36,6 @@ CacheHierarchy::CacheHierarchy(const MachineConfig &Cfg, unsigned NumCores)
     L1s.emplace_back(Cfg.L1);
     L2s.emplace_back(Cfg.L2);
   }
-}
-
-HitLevel CacheHierarchy::access(unsigned Core, std::uint64_t Addr) {
-  assert(Core < L1s.size() && "core index out of range");
-  if (L1s[Core].access(Addr))
-    return HitLevel::L1;
-  if (L2s[Core].access(Addr))
-    return HitLevel::L2;
-  if (Llc.access(Addr))
-    return HitLevel::LLC;
-  if (NextLinePrefetch) {
-    // Pull the successor line toward the core so a sequential stream only
-    // pays DRAM latency on every other line.
-    std::uint64_t NextLine = Addr + LineBytes;
-    L2s[Core].access(NextLine);
-    Llc.access(NextLine);
-  }
-  return HitLevel::Memory;
 }
 
 void CacheHierarchy::flush() {

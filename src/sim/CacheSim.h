@@ -16,6 +16,13 @@
 /// per-core mutable state (the LRU Tick in particular) of different simulated
 /// cores never shares a host cache line.
 ///
+/// The tag store is struct-of-arrays (tags and LRU stamps in separate dense
+/// vectors) and access() is inline with a same-line-as-last-access short
+/// circuit, because the replay loop streams tens of millions of events
+/// through it per simulated run. Both are pure layout/speed changes: every
+/// Tick increment, LRU stamp, hit count and victim choice is identical to
+/// the scalar reference, so simulated profiles are bit-identical.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAECC_SIM_CACHESIM_H
@@ -23,6 +30,7 @@
 
 #include "sim/MachineConfig.h"
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -35,12 +43,61 @@ enum class HitLevel { L1, L2, LLC, Memory };
 /// One set-associative LRU cache level (tag store only).
 class alignas(64) Cache {
 public:
+  /// Throws std::invalid_argument when Cfg.LineBytes is zero or not a power
+  /// of two (see lineShiftOf; a silently rounded-up shift would desynchronize
+  /// set indexing from every line-granular consumer).
   explicit Cache(const CacheConfig &Cfg);
 
   /// True on hit; on miss the line is installed (evicting LRU).
-  bool access(std::uint64_t Addr);
+  bool access(std::uint64_t Addr) {
+    std::uint64_t LineAddr = Addr >> LineShift;
+    // Same-line fast path: the last-touched line is always resident (it was
+    // installed even on a miss), so only its LRU stamp needs refreshing.
+    // State updates match the full path exactly: one Tick per access, stamp
+    // the way, count the hit.
+    if (LineAddr == LastLineAddr) {
+      Lrus[LastWay] = ++Tick;
+      ++Hits;
+      return true;
+    }
+    std::uint64_t Set = LineAddr & (NumSets - 1);
+    std::size_t Base = static_cast<std::size_t>(Set) * Assoc;
+    ++Tick;
+    for (unsigned W = 0; W != Assoc; ++W) {
+      if (Tags[Base + W] == LineAddr) {
+        Lrus[Base + W] = Tick;
+        ++Hits;
+        LastLineAddr = LineAddr;
+        LastWay = Base + W;
+        return true;
+      }
+    }
+    // Miss: evict the first invalid way, else the least recently used.
+    std::size_t Victim = Base;
+    for (unsigned W = 1; W != Assoc && Tags[Victim] != InvalidTag; ++W) {
+      std::size_t I = Base + W;
+      if (Tags[I] == InvalidTag || Lrus[I] < Lrus[Victim])
+        Victim = I;
+    }
+    Tags[Victim] = LineAddr;
+    Lrus[Victim] = Tick;
+    ++Misses;
+    LastLineAddr = LineAddr;
+    LastWay = Victim;
+    return false;
+  }
+
   /// True when the line is present (no state change).
-  bool probe(std::uint64_t Addr) const;
+  bool probe(std::uint64_t Addr) const {
+    std::uint64_t LineAddr = Addr >> LineShift;
+    std::uint64_t Set = LineAddr & (NumSets - 1);
+    std::size_t Base = static_cast<std::size_t>(Set) * Assoc;
+    for (unsigned W = 0; W != Assoc; ++W)
+      if (Tags[Base + W] == LineAddr)
+        return true;
+    return false;
+  }
+
   /// Drops all lines.
   void flush();
 
@@ -48,18 +105,23 @@ public:
   std::uint64_t misses() const { return Misses; }
 
 private:
-  struct Line {
-    std::uint64_t Tag = ~0ull;
-    std::uint64_t Lru = 0;
-    bool Valid = false;
-  };
+  /// Tag sentinel for an invalid way. Simulated line addresses are bounded
+  /// by AccessTrace's 62-bit address space so a real tag can never collide.
+  static constexpr std::uint64_t InvalidTag = ~0ull;
 
   unsigned LineShift;
   std::uint64_t NumSets;
   unsigned Assoc;
-  std::vector<Line> Lines;
+  /// Struct-of-arrays tag store: Tags[set*Assoc + way] / Lrus[...], so the
+  /// hit scan touches one dense tag run instead of strided {Tag,Lru,Valid}
+  /// records. Validity is Tags[I] != InvalidTag.
+  std::vector<std::uint64_t> Tags;
+  std::vector<std::uint64_t> Lrus;
   std::uint64_t Tick = 0;
   std::uint64_t Hits = 0, Misses = 0;
+  /// Same-line short-circuit state (see access()).
+  std::uint64_t LastLineAddr = InvalidTag;
+  std::size_t LastWay = 0;
 };
 
 /// Per-core L1/L2 over a shared LLC.
@@ -71,7 +133,23 @@ public:
   /// satisfied it and installs the line in every level above. On a DRAM
   /// miss, the hardware next-line prefetcher (when configured) also installs
   /// the successor line into the core's L2.
-  HitLevel access(unsigned Core, std::uint64_t Addr);
+  HitLevel access(unsigned Core, std::uint64_t Addr) {
+    assert(Core < L1s.size() && "core index out of range");
+    if (L1s[Core].access(Addr))
+      return HitLevel::L1;
+    if (L2s[Core].access(Addr))
+      return HitLevel::L2;
+    if (Llc.access(Addr))
+      return HitLevel::LLC;
+    if (NextLinePrefetch) {
+      // Pull the successor line toward the core so a sequential stream only
+      // pays DRAM latency on every other line.
+      std::uint64_t NextLine = Addr + LineBytes;
+      L2s[Core].access(NextLine);
+      Llc.access(NextLine);
+    }
+    return HitLevel::Memory;
+  }
 
   /// Drops all lines everywhere.
   void flush();

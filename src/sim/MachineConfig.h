@@ -19,10 +19,25 @@
 #define DAECC_SIM_MACHINECONFIG_H
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace dae {
 namespace sim {
+
+/// Exact log2 of a power-of-two cache line size. Throws std::invalid_argument
+/// for zero or non-power-of-two values: a silently rounded-up shift (the old
+/// behaviour) would make set indexing use a different line granularity than
+/// every byte-address / LineBytes consumer (e.g. the timing replay's
+/// PhaseCapture), so bad geometry must be rejected, not papered over.
+inline unsigned lineShiftOf(std::uint64_t LineBytes) {
+  if (LineBytes == 0 || (LineBytes & (LineBytes - 1)) != 0)
+    throw std::invalid_argument("cache LineBytes must be a power of two");
+  unsigned R = 0;
+  while ((1ull << R) < LineBytes)
+    ++R;
+  return R;
+}
 
 /// One cache level.
 struct CacheConfig {
@@ -43,6 +58,16 @@ struct MachineConfig {
   /// fully sequential reference path; values above NumCores still help, as
   /// the functional pass parallelizes over tasks, not simulated cores.
   unsigned SimThreads = 1;
+
+  /// Pipelined wave simulation: when true (the default) and SimThreads > 1,
+  /// the timing replay of wave N runs on a dedicated replay thread while the
+  /// worker pool executes the functional pass of wave N+1 (CLI:
+  /// --no-replay-overlap / DAECC_REPLAY_OVERLAP=0 to disable). Replay order
+  /// and cache state are unaffected — the replay thread consumes waves
+  /// strictly in order and owns the hierarchy exclusively — so RunProfiles
+  /// stay bit-identical for every (SimThreads, ReplayOverlap) combination
+  /// (asserted by tests/runtime/DeterminismTest.cpp).
+  bool ReplayOverlap = true;
 
   // Private per-core L1/L2, shared LLC. The geometry is a proportionally
   // scaled-down Sandybridge (1/4-1/16 capacity at equal associativity):

@@ -159,6 +159,71 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDeterminismTest,
                          ::testing::Values("lu", "cholesky", "fft", "lbm",
                                            "libq", "cigar", "cg"));
 
+void expectCapturesEqual(const RunCapture &A, const RunCapture &B) {
+  EXPECT_EQ(A.LineBytes, B.LineBytes);
+  ASSERT_EQ(A.Tasks.size(), B.Tasks.size());
+  for (size_t I = 0; I != A.Tasks.size(); ++I) {
+    EXPECT_EQ(A.Tasks[I].HasAccess, B.Tasks[I].HasAccess) << "task " << I;
+    EXPECT_EQ(A.Tasks[I].Access.Lines, B.Tasks[I].Access.Lines)
+        << "access lines, task " << I;
+    EXPECT_EQ(A.Tasks[I].Access.MissLines, B.Tasks[I].Access.MissLines)
+        << "access misses, task " << I;
+    EXPECT_EQ(A.Tasks[I].Execute.Lines, B.Tasks[I].Execute.Lines)
+        << "execute lines, task " << I;
+    EXPECT_EQ(A.Tasks[I].Execute.MissLines, B.Tasks[I].Execute.MissLines)
+        << "execute misses, task " << I;
+  }
+}
+
+/// Pipelined replay (--no-replay-overlap off by default) must not perturb a
+/// single simulated bit: for each paper workload, the Manual-DAE task set is
+/// profiled under every (SimThreads, ReplayOverlap, capture on/off)
+/// combination, and both the RunProfile and the RunCapture are compared
+/// exactly against the sequential overlap-free reference.
+class OverlapDeterminismTest : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(OverlapDeterminismTest, OverlapMatchesReference) {
+  auto W = workloads::buildByName(GetParam(), workloads::Scale::Test);
+  Loader L(*W->M);
+  // Manual-DAE task list: decoupled tasks drive both the access and execute
+  // replay paths (and both capture phases) per task.
+  std::vector<Task> Tasks = W->Tasks;
+  for (Task &T : Tasks) {
+    auto It = W->ManualAccess.find(T.Execute);
+    if (It != W->ManualAccess.end())
+      T.Access = It->second;
+  }
+
+  auto Run = [&](unsigned Threads, bool Overlap, RunCapture *Cap) {
+    MachineConfig Cfg;
+    Cfg.SimThreads = Threads;
+    Cfg.ReplayOverlap = Overlap;
+    Memory Mem;
+    W->Init(Mem, L);
+    TaskRuntime RT(Cfg, Mem, L);
+    return RT.execute(Tasks, /*RunAccess=*/true, Cap);
+  };
+
+  RunCapture RefCap;
+  RunProfile Ref = Run(/*Threads=*/1, /*Overlap=*/false, &RefCap);
+
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    for (bool Overlap : {false, true}) {
+      RunCapture Cap;
+      expectProfilesEqual(Ref, Run(Threads, Overlap, &Cap));
+      expectCapturesEqual(RefCap, Cap);
+      // Capture off must not change the profile either (the capture hook
+      // sits inside the replay fast path).
+      expectProfilesEqual(Ref, Run(Threads, Overlap, nullptr));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, OverlapDeterminismTest,
+                         ::testing::Values("lu", "cholesky", "fft", "lbm",
+                                           "libq", "cigar", "cg"));
+
 /// Suite-level: the full Figure 3 pipeline over all seven apps on the job
 /// pool (--jobs=4 --sim-threads=2, shared generation memo) must be
 /// bit-identical to the sequential reference (--jobs=1 --sim-threads=1, no

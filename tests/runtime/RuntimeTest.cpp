@@ -146,10 +146,82 @@ TEST(EvaluatorTest, TransitionsCostTimeAndCount) {
   MinMax.TransitionNs = 500.0;
   RunReport WithLatency = evaluate(P, Fx.Cfg, MinMax);
 
-  EXPECT_EQ(NoLatency.NumTransitions, 0u);
-  EXPECT_GT(WithLatency.NumTransitions, 0u);
+  // The policy switches frequency the same number of times regardless of
+  // how long a switch takes; only the latency/energy charge depends on it.
+  EXPECT_GT(NoLatency.NumTransitions, 0u);
+  EXPECT_EQ(NoLatency.NumTransitions, WithLatency.NumTransitions);
   EXPECT_GT(WithLatency.TimeSec, NoLatency.TimeSec);
   EXPECT_GT(WithLatency.OsiTimeSec, NoLatency.OsiTimeSec);
+}
+
+/// Pins the exact transition count of a hand-built profile: one core, two
+/// access+execute tasks under Min/Max (access at fmin, execute at fmax) is
+/// fmax(boot) -> fmin -> fmax -> fmin -> fmax = 4 switches, at any
+/// transition latency — and the 0 ns case charges nothing for them.
+TEST(EvaluatorTest, TransitionCountsPinned) {
+  MachineConfig Cfg;
+  RunProfile P;
+  P.NumCores = 1;
+  P.PerTaskOverheadCycles = 0.0;
+  TaskProfile T;
+  T.HasAccess = true;
+  T.Access.Instructions = 100;
+  T.Access.ComputeCycles = 1000.0;
+  T.Execute.Instructions = 100;
+  T.Execute.ComputeCycles = 1000.0;
+  P.Tasks = {T, T};
+
+  EvalConfig MinMax;
+  MinMax.Policy = FreqPolicy::Fixed;
+  MinMax.AccessFreqGHz = Cfg.fmin();
+  MinMax.ExecFreqGHz = Cfg.fmax();
+
+  MinMax.TransitionNs = 0.0;
+  RunReport Ideal = evaluate(P, Cfg, MinMax);
+  EXPECT_EQ(Ideal.NumTransitions, 4u);
+
+  MinMax.TransitionNs = 500.0;
+  RunReport Current = evaluate(P, Cfg, MinMax);
+  EXPECT_EQ(Current.NumTransitions, 4u);
+  // Each of the 4 switches costs 500 ns of makespan on the single core.
+  EXPECT_NEAR(Current.TimeSec - Ideal.TimeSec, 4 * 500e-9, 1e-15);
+
+  // Same frequency for both phases at the boot frequency: no switches ever.
+  EvalConfig Flat;
+  Flat.Policy = FreqPolicy::Fixed;
+  Flat.AccessFreqGHz = Cfg.fmax();
+  Flat.ExecFreqGHz = Cfg.fmax();
+  Flat.TransitionNs = 0.0;
+  EXPECT_EQ(evaluate(P, Cfg, Flat).NumTransitions, 0u);
+}
+
+/// EDP ties break toward the lower frequency, independent of ladder order: a
+/// zero-work phase has EDP 0 at every ladder point, so Optimal-EDP must
+/// settle on the lowest frequency whether or not it is listed first.
+TEST(EvaluatorTest, EdpTieBreaksTowardLowerFrequency) {
+  RunProfile P;
+  P.NumCores = 1;
+  P.PerTaskOverheadCycles = 0.0;
+  TaskProfile T;
+  T.HasAccess = true; // Both phases zero work: every frequency ties at 0.
+  P.Tasks = {T, T};
+
+  EvalConfig Opt;
+  Opt.Policy = FreqPolicy::OptimalEdp;
+  Opt.TransitionNs = 0.0;
+
+  // Ascending ladder: cores boot at fmax, every tied phase picks fmin —
+  // exactly one switch on the single core.
+  MachineConfig Cfg;
+  EXPECT_EQ(evaluate(P, Cfg, Opt).NumTransitions, 1u)
+      << "tied phases must all pick the lowest frequency";
+
+  // Same ladder listed high-to-low: cores boot at 1.6 (the last entry) and a
+  // first-match scan would hop to 3.4; the order-independent tie break keeps
+  // every phase at 1.6, so no switch happens at all.
+  Cfg.FrequenciesGHz = {3.4, 2.8, 2.0, 1.6};
+  EXPECT_EQ(evaluate(P, Cfg, Opt).NumTransitions, 0u)
+      << "tie break must not depend on ladder order";
 }
 
 TEST(EvaluatorTest, SameFrequencyNeverTransitions) {

@@ -121,6 +121,32 @@ TEST(CacheTest, LruEviction) {
   EXPECT_TRUE(C.probe(0x080));
 }
 
+TEST(CacheTest, SameLineFastPathKeepsLruExact) {
+  // The same-line-as-last-access short circuit must still bump the line's
+  // LRU stamp, or a hot line would look stale and get evicted.
+  Cache C({128, 2, 64}); // 1 set, 2 ways.
+  C.access(0x000);       // Line A (miss).
+  C.access(0x040);       // Line B (miss).
+  C.access(0x000);       // A again: slow-path hit, A becomes MRU.
+  C.access(0x008);       // A again: fast-path hit, A stays MRU.
+  C.access(0x080);       // Line C must evict B, the true LRU.
+  EXPECT_TRUE(C.probe(0x000));
+  EXPECT_FALSE(C.probe(0x040));
+  EXPECT_TRUE(C.probe(0x080));
+  EXPECT_EQ(C.hits(), 2u);
+  EXPECT_EQ(C.misses(), 3u);
+}
+
+TEST(CacheTest, RejectsNonPowerOfTwoLineBytes) {
+  EXPECT_THROW(Cache({1024, 2, 48}), std::invalid_argument);
+  EXPECT_THROW(Cache({1024, 2, 0}), std::invalid_argument);
+  MachineConfig Cfg;
+  Cfg.L2.LineBytes = 96;
+  EXPECT_THROW(CacheHierarchy(Cfg, 1), std::invalid_argument);
+  EXPECT_EQ(lineShiftOf(64), 6u);
+  EXPECT_EQ(lineShiftOf(1), 0u);
+}
+
 TEST(CacheHierarchyTest, FillsAllLevelsAndIsolatesCores) {
   MachineConfig Cfg;
   Cfg.HwNextLinePrefetch = false;
