@@ -20,6 +20,7 @@
 #include "harness/Harness.h"
 #include "pm/Instrumentation.h"
 #include "runtime/Task.h"
+#include "sim/MachineConfig.h"
 #include "workloads/Workload.h"
 
 #include <chrono>
@@ -75,6 +76,29 @@ inline unsigned jobsFromArgs(int Argc, char **Argv) {
     return N > 0 ? static_cast<unsigned>(N) : 1u;
   }
   return 1u;
+}
+
+/// Functional execution backend: `--sim-backend={switch,threaded}` overrides
+/// the process default (DAECC_SIM_BACKEND, else threaded; see
+/// sim::defaultSimBackend). Either backend produces bit-identical simulated
+/// results; the flag exists to measure the threaded backend's host-side win
+/// (the `interp` block of BENCH_<name>.json) and to keep the reference
+/// interpreter reachable for differential debugging.
+inline sim::SimBackend backendFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--sim-backend=", 14) == 0) {
+      const char *V = Argv[I] + 14;
+      if (std::strcmp(V, "switch") == 0)
+        return sim::SimBackend::Switch;
+      if (std::strcmp(V, "threaded") == 0)
+        return sim::SimBackend::Threaded;
+      std::fprintf(stderr,
+                   "error: unknown --sim-backend value '%s' "
+                   "(expected 'switch' or 'threaded')\n",
+                   V);
+      std::exit(2);
+    }
+  return sim::defaultSimBackend();
 }
 
 /// Pipelined wave simulation switch: on by default; `--no-replay-overlap`
@@ -174,6 +198,22 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 ///                                     covered_misses, strict_covered_misses,
 ///                                     prefetched_lines, unused_lines,
 ///                                     decoupled_tasks
+///   interp                    object  functional-pass (value-producing)
+///                                     interpreter throughput — the quantity
+///                                     the execution backend changes, unlike
+///                                     the bit-identical simulated results:
+///                                       backend                  string
+///                                         "switch" or "threaded"
+///                                         (--sim-backend /
+///                                         DAECC_SIM_BACKEND)
+///                                       functional_wall_seconds  double  host
+///                                         wall clock spent inside the
+///                                         functional pass, summed over runs
+///                                         (RunProfile::FunctionalSeconds)
+///                                       functional_instr_per_sec double
+///                                         sim_instructions /
+///                                         functional_wall_seconds; -1 when
+///                                         no functional time was recorded
 ///   replay_overlap            object  pipelined wave simulation telemetry:
 ///                                       enabled                  bool    the
 ///                                         run's effective setting
@@ -204,7 +244,10 @@ public:
     writeJson("started");
   }
   void stop() { End = std::chrono::steady_clock::now(); }
-  void add(const runtime::RunProfile &P) { Instructions += simInstructions(P); }
+  void add(const runtime::RunProfile &P) {
+    Instructions += simInstructions(P);
+    FunctionalSeconds += P.FunctionalSeconds;
+  }
   /// Records a partial failure (e.g. one app's schemes disagreed). The JSON
   /// is still written; status becomes "partial".
   void noteFailure() { ++Failures; }
@@ -215,6 +258,9 @@ public:
   /// Records the run's effective replay-overlap setting for the
   /// replay_overlap JSON block.
   void setReplayOverlap(bool Enabled) { ReplayOverlap = Enabled; }
+  /// Records the run's functional execution backend for the interp JSON
+  /// block.
+  void setBackend(sim::SimBackend B) { Backend = B; }
   /// Wall clock of a separately measured --no-replay-overlap run of the same
   /// suite, enabling the replay_overlap speedup field.
   void setNoOverlapBaseline(double NoOverlapSecs) {
@@ -279,6 +325,12 @@ public:
                 static_cast<unsigned long long>(Instructions), Seconds,
                 Ips / 1e6, Jobs, Jobs == 1 ? "" : "s", SimThreads,
                 SimThreads == 1 ? "" : "s");
+    if (FunctionalSeconds > 0.0)
+      std::printf("[interp] %s: backend %s, functional pass %.3f s "
+                  "(%.2f M inst/s)\n",
+                  Name.c_str(), sim::simBackendName(Backend),
+                  FunctionalSeconds,
+                  static_cast<double>(Instructions) / FunctionalSeconds / 1e6);
     if (BaselineSeconds > 0.0)
       std::printf("[throughput] %s: --jobs=1 baseline %.3f s -> speedup "
                   "%.2fx\n",
@@ -297,6 +349,10 @@ private:
     double OverlapSpeedup =
         NoOverlapSeconds > 0.0 && Seconds > 0.0 ? NoOverlapSeconds / Seconds
                                                 : -1.0;
+    double FunctionalIps =
+        FunctionalSeconds > 0.0
+            ? static_cast<double>(Instructions) / FunctionalSeconds
+            : -1.0;
     std::string DaeVerify = "[";
     for (size_t I = 0; I != DaeVerifyEntries.size(); ++I) {
       DaeVerify += I ? ", " : "";
@@ -317,6 +373,9 @@ private:
                    "  \"speedup_vs_jobs1\": %.3f,\n"
                    "  \"pass_stats\": %s,\n"
                    "  \"dae_verify\": %s,\n"
+                   "  \"interp\": {\"backend\": \"%s\", "
+                   "\"functional_wall_seconds\": %.6f, "
+                   "\"functional_instr_per_sec\": %.1f},\n"
                    "  \"replay_overlap\": {\"enabled\": %s, "
                    "\"wall_seconds\": %.6f, "
                    "\"no_overlap_wall_seconds\": %.6f, \"speedup\": %.3f},\n"
@@ -327,6 +386,8 @@ private:
                    static_cast<unsigned long long>(Instructions), Ips,
                    BaselineSeconds > 0.0 ? BaselineSeconds : -1.0, Speedup,
                    pm::PipelineStats::get().json().c_str(), DaeVerify.c_str(),
+                   sim::simBackendName(Backend), FunctionalSeconds,
+                   FunctionalIps,
                    ReplayOverlap ? "true" : "false", Seconds,
                    NoOverlapSeconds > 0.0 ? NoOverlapSeconds : -1.0,
                    OverlapSpeedup, Failures, Status);
@@ -339,8 +400,10 @@ private:
   unsigned Jobs;
   unsigned Failures = 0;
   bool ReplayOverlap = true;
+  sim::SimBackend Backend = sim::defaultSimBackend();
   double BaselineSeconds = -1.0;
   double NoOverlapSeconds = -1.0;
+  double FunctionalSeconds = 0.0;
   std::uint64_t Instructions = 0;
   std::vector<std::string> DaeVerifyEntries;
   std::chrono::steady_clock::time_point Start, End;

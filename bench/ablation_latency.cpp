@@ -30,6 +30,7 @@ int main(int Argc, char **Argv) {
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   Cfg.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
+  Cfg.Backend = backendFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
   const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
 

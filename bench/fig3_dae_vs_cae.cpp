@@ -69,6 +69,7 @@ int main(int Argc, char **Argv) {
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   Cfg.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
+  Cfg.Backend = backendFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
   const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
   const bool DaeVerify = daeVerifyFromArgs(Argc, Argv);
@@ -83,6 +84,7 @@ int main(int Argc, char **Argv) {
 
   ThroughputReporter Throughput("fig3_dae_vs_cae", Cfg.SimThreads, Jobs);
   Throughput.setReplayOverlap(Cfg.ReplayOverlap);
+  Throughput.setBackend(Cfg.Backend);
   auto Workloads = workloads::buildAll(S);
   std::vector<SuiteItem> Items;
   for (auto &W : Workloads)

@@ -55,6 +55,7 @@ int main(int Argc, char **Argv) {
   sim::MachineConfig Cfg;
   Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
   Cfg.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
+  Cfg.Backend = backendFromArgs(Argc, Argv);
   unsigned Jobs = jobsFromArgs(Argc, Argv);
   const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
 
@@ -78,6 +79,7 @@ int main(int Argc, char **Argv) {
 
   ThroughputReporter Throughput("fig4_profiles", Cfg.SimThreads, Jobs);
   Throughput.setReplayOverlap(Cfg.ReplayOverlap);
+  Throughput.setBackend(Cfg.Backend);
   Throughput.start();
   std::vector<AppResult> Results = runSuite(Items, Cfg, SC);
   Throughput.stop();

@@ -42,6 +42,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -305,9 +306,14 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
   ReplayEngine Replay(Cfg, NumCores, Profile, Capture, Tasks.data());
 
   // Functional pass of one wave into \p Results, in parallel across the
-  // pool: compute values and record access traces for every task.
+  // pool: compute values and record access traces for every task. Wall-clock
+  // time is accumulated into the profile's FunctionalSeconds so the bench
+  // drivers can report per-backend functional throughput; RunFunctional is
+  // only ever called from this thread, so a plain accumulator suffices.
+  double FunctionalSecs = 0.0;
   auto RunFunctional = [&](const std::vector<const Task *> &WaveTasks,
                            std::vector<WaveResult> &Results) {
+    auto Start = std::chrono::steady_clock::now();
     Results.clear();
     Results.resize(WaveTasks.size());
     Pool.run(WaveTasks.size(), [&](std::size_t I, unsigned Worker) {
@@ -322,6 +328,9 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
       R.ExecTr.acquireFrom(TracePool::global());
       R.Execute = Interp.runTraced(*T.Execute, T.Args, R.ExecTr);
     });
+    FunctionalSecs +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count();
   };
 
   // Overlap only pays when another wave's functional pass can run during a
@@ -399,6 +408,7 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
     Replayer.join();
   }
   assert(Profile.Tasks.size() == Tasks.size() && "lost tasks");
+  Profile.FunctionalSeconds = FunctionalSecs;
 
   if (Capture) {
     for (TaskCapture &TC : Capture->Tasks) {

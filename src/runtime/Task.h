@@ -56,6 +56,12 @@ struct RunProfile {
   /// attempts, phase hand-off. Contributes to the O.S.I. bucket.
   double PerTaskOverheadCycles = 250.0;
 
+  /// Host wall-clock seconds spent in the functional (value-producing) pass
+  /// of this run — pure telemetry for backend throughput reporting (the
+  /// `interp` block in bench JSON); not a simulated quantity, and excluded
+  /// from determinism comparisons.
+  double FunctionalSeconds = 0.0;
+
   /// Sum of a statistic across tasks.
   sim::PhaseStats totalAccess() const {
     sim::PhaseStats S;

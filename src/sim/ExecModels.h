@@ -1,0 +1,142 @@
+//===- sim/ExecModels.h - Memory-effect models for execution ----*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two memory-effect models both functional backends are templated over:
+///
+///  * FusedModel — classic inline cache simulation: every load/store/prefetch
+///    goes through the CacheHierarchy and timing lands directly in the
+///    PhaseStats being built. Timing statements mirror the original
+///    pre-split interpreter exactly (same FP addend order), so profiles stay
+///    bit-identical across backends.
+///  * TracingModel — the host-parallel engine's functional mode: accesses are
+///    recorded into an AccessTrace; hit levels and timing are added later by
+///    the runtime's single-threaded replay in schedule order.
+///
+/// Each backend instantiates its dispatch loop once per model (two template
+/// instantiations), keeping the tracing/non-tracing decision entirely out of
+/// the per-instruction hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_SIM_EXECMODELS_H
+#define DAECC_SIM_EXECMODELS_H
+
+#include "sim/AccessTrace.h"
+#include "sim/CacheSim.h"
+#include "sim/Interpreter.h"
+#include "sim/MachineConfig.h"
+#include "sim/PhaseStats.h"
+
+namespace dae {
+namespace sim {
+
+/// Fused mode: the classic inline cache simulation. Timing statements mirror
+/// the pre-split interpreter exactly.
+struct FusedModel {
+  /// The callbacks add hit cycles / stalls into the PhaseStats as they fire,
+  /// interleaved with the instruction-cost additions — the dispatch loop must
+  /// keep ComputeCycles in the struct so the FP addend order stays exactly
+  /// the reference's.
+  static constexpr bool MutatesStats = true;
+
+  CacheHierarchy &Caches;
+  const MachineConfig &Cfg;
+  unsigned Core;
+  LoadStatsMap *LoadStats;
+
+  void onLoad(PhaseStats &S, std::uint64_t Addr, const ir::Instruction *I) {
+    LoadSiteStats *Site = nullptr;
+    if (LoadStats) {
+      Site = &(*LoadStats)[I];
+      ++Site->Count;
+    }
+    switch (Caches.access(Core, Addr)) {
+    case HitLevel::L1:
+      ++S.L1Hits;
+      S.ComputeCycles += Cfg.L1HitCycles;
+      break;
+    case HitLevel::L2:
+      ++S.L2Hits;
+      S.ComputeCycles += Cfg.L2HitCycles;
+      break;
+    case HitLevel::LLC:
+      ++S.LLCHits;
+      S.ComputeCycles += Cfg.LLCHitCycles;
+      break;
+    case HitLevel::Memory:
+      ++S.MemAccesses;
+      S.StallNs += Cfg.MemLatencyNs / Cfg.LoadMlp;
+      if (Site)
+        ++Site->Misses;
+      break;
+    }
+  }
+
+  void onStore(PhaseStats &S, std::uint64_t Addr) {
+    switch (Caches.access(Core, Addr)) {
+    case HitLevel::L1:
+      ++S.L1Hits;
+      break;
+    case HitLevel::L2:
+      ++S.L2Hits;
+      S.ComputeCycles += Cfg.L2HitCycles * 0.5;
+      break;
+    case HitLevel::LLC:
+      ++S.LLCHits;
+      S.ComputeCycles += Cfg.LLCHitCycles * 0.5;
+      break;
+    case HitLevel::Memory:
+      ++S.MemAccesses;
+      S.StallNs += Cfg.MemLatencyNs / Cfg.StoreMlp;
+      break;
+    }
+  }
+
+  void onPrefetch(PhaseStats &S, std::uint64_t Addr) {
+    // Non-binding: warms the hierarchy, never stalls retirement, but is
+    // throughput-limited by the outstanding-miss capacity.
+    switch (Caches.access(Core, Addr)) {
+    case HitLevel::L1:
+    case HitLevel::L2:
+      break;
+    case HitLevel::LLC:
+      S.StallNs += Cfg.LLCHitCycles / Cfg.fmax() / Cfg.PrefetchMlp;
+      break;
+    case HitLevel::Memory:
+      ++S.MemAccesses;
+      S.StallNs += Cfg.MemLatencyNs / Cfg.PrefetchMlp;
+      break;
+    }
+  }
+};
+
+/// Tracing mode: record the access stream; the runtime's replay supplies hit
+/// levels and timing later, in schedule order.
+struct TracingModel {
+  /// Never touches the PhaseStats: the dispatch loop is free to keep all
+  /// counters (ComputeCycles included) in register-resident locals and flush
+  /// them once at function exit — the accumulation order of each counter is
+  /// unchanged, so the result is still bit-identical.
+  static constexpr bool MutatesStats = false;
+
+  AccessTrace &Trace;
+
+  void onLoad(PhaseStats &, std::uint64_t Addr, const ir::Instruction *) {
+    Trace.push(AccessTrace::Kind::Load, Addr);
+  }
+  void onStore(PhaseStats &, std::uint64_t Addr) {
+    Trace.push(AccessTrace::Kind::Store, Addr);
+  }
+  void onPrefetch(PhaseStats &, std::uint64_t Addr) {
+    Trace.push(AccessTrace::Kind::Prefetch, Addr);
+  }
+};
+
+} // namespace sim
+} // namespace dae
+
+#endif // DAECC_SIM_EXECMODELS_H

@@ -7,6 +7,10 @@
 #include "sim/Interpreter.h"
 
 #include "ir/Module.h"
+#include "sim/Bytecode.h"
+#include "sim/ExecModels.h"
+#include "sim/SimOps.h"
+#include "sim/ThreadedInterpreter.h"
 #include "support/Casting.h"
 
 #include <cassert>
@@ -18,147 +22,6 @@ using namespace dae::ir;
 using namespace dae::sim;
 
 namespace {
-
-/// Core-clocked cost of an instruction (cycles), excluding memory effects.
-double instCycles(const Instruction &I, const MachineConfig &Cfg) {
-  switch (I.getKind()) {
-  case ValueKind::InstBinary:
-    switch (cast<BinaryInst>(&I)->getOpcode()) {
-    case BinOp::FDiv:
-    case BinOp::SDiv:
-    case BinOp::SRem:
-      return Cfg.DivCycles;
-    case BinOp::FMul:
-    case BinOp::FAdd:
-    case BinOp::FSub:
-      return Cfg.FpOpCycles;
-    default:
-      return Cfg.SimpleOpCycles;
-    }
-  case ValueKind::InstPhi:
-    return 0.0;
-  case ValueKind::InstCall:
-    return 2.0 * Cfg.SimpleOpCycles;
-  default:
-    return Cfg.SimpleOpCycles;
-  }
-}
-
-/// Fully resolved opcode: one flat dispatch per executed instruction instead
-/// of re-deriving kind + sub-opcode + operand types from the IR every time.
-enum class SimOp : std::uint8_t {
-  Add,
-  Sub,
-  Mul,
-  SDiv,
-  SRem,
-  And,
-  Or,
-  Xor,
-  Shl,
-  AShr,
-  FAdd,
-  FSub,
-  FMul,
-  FDiv,
-  CmpEQ,
-  CmpNE,
-  CmpSLT,
-  CmpSLE,
-  CmpSGT,
-  CmpSGE,
-  CmpFLT,
-  CmpFLE,
-  CmpFGT,
-  CmpFGE,
-  CmpFEQ,
-  CmpFNE,
-  Select,
-  SIToFP,
-  FPToSI,
-  PtrCast,
-  Gep,
-  LoadI,
-  LoadF,
-  StoreI,
-  StoreF,
-  Prefetch,
-  Br,
-  CondBr,
-  Ret,
-  Call,
-  Phi, ///< Never dispatched; phis live in CompiledBlock::Phis.
-};
-
-bool isTerminatorOp(SimOp Op) {
-  return Op == SimOp::Br || Op == SimOp::CondBr || Op == SimOp::Ret;
-}
-
-SimOp binSimOp(BinOp Op) {
-  switch (Op) {
-  case BinOp::Add:
-    return SimOp::Add;
-  case BinOp::Sub:
-    return SimOp::Sub;
-  case BinOp::Mul:
-    return SimOp::Mul;
-  case BinOp::SDiv:
-    return SimOp::SDiv;
-  case BinOp::SRem:
-    return SimOp::SRem;
-  case BinOp::And:
-    return SimOp::And;
-  case BinOp::Or:
-    return SimOp::Or;
-  case BinOp::Xor:
-    return SimOp::Xor;
-  case BinOp::Shl:
-    return SimOp::Shl;
-  case BinOp::AShr:
-    return SimOp::AShr;
-  case BinOp::FAdd:
-    return SimOp::FAdd;
-  case BinOp::FSub:
-    return SimOp::FSub;
-  case BinOp::FMul:
-    return SimOp::FMul;
-  case BinOp::FDiv:
-    return SimOp::FDiv;
-  }
-  assert(false && "unknown binary opcode");
-  return SimOp::Add;
-}
-
-SimOp cmpSimOp(CmpPred P) {
-  switch (P) {
-  case CmpPred::EQ:
-    return SimOp::CmpEQ;
-  case CmpPred::NE:
-    return SimOp::CmpNE;
-  case CmpPred::SLT:
-    return SimOp::CmpSLT;
-  case CmpPred::SLE:
-    return SimOp::CmpSLE;
-  case CmpPred::SGT:
-    return SimOp::CmpSGT;
-  case CmpPred::SGE:
-    return SimOp::CmpSGE;
-  case CmpPred::FLT:
-    return SimOp::CmpFLT;
-  case CmpPred::FLE:
-    return SimOp::CmpFLE;
-  case CmpPred::FGT:
-    return SimOp::CmpFGT;
-  case CmpPred::FGE:
-    return SimOp::CmpFGE;
-  case CmpPred::FEQ:
-    return SimOp::CmpFEQ;
-  case CmpPred::FNE:
-    return SimOp::CmpFNE;
-  }
-  assert(false && "unknown compare predicate");
-  return SimOp::CmpEQ;
-}
 
 /// An operand resolved at compile time: either an immediate or a slot.
 struct OperandRef {
@@ -347,6 +210,8 @@ void CompiledProgram::add(const Function &F) {
   if (Fns.count(&F))
     return;
   Fns.emplace(&F, std::make_unique<CompiledFunction>(F, Load, Cfg));
+  if (Cfg.Backend == SimBackend::Threaded)
+    BCs.emplace(&F, bc::lower(F, Load, Cfg));
   // Pull in everything reachable through calls so execution never compiles.
   for (const auto &BB : F)
     for (const auto &I : *BB)
@@ -359,6 +224,12 @@ const CompiledFunction *CompiledProgram::lookup(const Function &F) const {
   return It == Fns.end() ? nullptr : It->second.get();
 }
 
+const bc::BytecodeFunction *
+CompiledProgram::lookupBytecode(const Function &F) const {
+  auto It = BCs.find(&F);
+  return It == BCs.end() ? nullptr : It->second.get();
+}
+
 //===----------------------------------------------------------------------===//
 // Interpreter
 //===----------------------------------------------------------------------===//
@@ -366,13 +237,27 @@ const CompiledFunction *CompiledProgram::lookup(const Function &F) const {
 Interpreter::Interpreter(const MachineConfig &Cfg, Memory &Mem,
                          CacheHierarchy &Caches, const Loader &L,
                          const CompiledProgram *Shared)
-    : Cfg(Cfg), View(Mem), Caches(&Caches), Load(L), Shared(Shared) {}
+    : Cfg(Cfg), View(Mem), Caches(&Caches), Load(L), Shared(Shared) {
+  if (Cfg.Backend == SimBackend::Threaded)
+    Threaded = std::make_unique<ThreadedInterpreter>(Cfg, Mem, &Caches, L,
+                                                     Shared);
+}
 
 Interpreter::Interpreter(const MachineConfig &Cfg, Memory &Mem,
                          const Loader &L, const CompiledProgram *Shared)
-    : Cfg(Cfg), View(Mem), Caches(nullptr), Load(L), Shared(Shared) {}
+    : Cfg(Cfg), View(Mem), Caches(nullptr), Load(L), Shared(Shared) {
+  if (Cfg.Backend == SimBackend::Threaded)
+    Threaded = std::make_unique<ThreadedInterpreter>(Cfg, Mem, nullptr, L,
+                                                     Shared);
+}
 
 Interpreter::~Interpreter() = default;
+
+void Interpreter::setLoadStats(LoadStatsMap *Stats) {
+  LoadStats = Stats;
+  if (Threaded)
+    Threaded->setLoadStats(Stats);
+}
 
 const CompiledFunction &Interpreter::getCompiled(const Function &F) {
   if (Shared)
@@ -385,100 +270,6 @@ const CompiledFunction &Interpreter::getCompiled(const Function &F) {
              .first;
   return *It->second;
 }
-
-namespace {
-
-/// Fused mode: the classic inline cache simulation. Timing statements mirror
-/// the pre-split interpreter exactly.
-struct FusedModel {
-  CacheHierarchy &Caches;
-  const MachineConfig &Cfg;
-  unsigned Core;
-  LoadStatsMap *LoadStats;
-
-  void onLoad(PhaseStats &S, std::uint64_t Addr, const Instruction *I) {
-    LoadSiteStats *Site = nullptr;
-    if (LoadStats) {
-      Site = &(*LoadStats)[I];
-      ++Site->Count;
-    }
-    switch (Caches.access(Core, Addr)) {
-    case HitLevel::L1:
-      ++S.L1Hits;
-      S.ComputeCycles += Cfg.L1HitCycles;
-      break;
-    case HitLevel::L2:
-      ++S.L2Hits;
-      S.ComputeCycles += Cfg.L2HitCycles;
-      break;
-    case HitLevel::LLC:
-      ++S.LLCHits;
-      S.ComputeCycles += Cfg.LLCHitCycles;
-      break;
-    case HitLevel::Memory:
-      ++S.MemAccesses;
-      S.StallNs += Cfg.MemLatencyNs / Cfg.LoadMlp;
-      if (Site)
-        ++Site->Misses;
-      break;
-    }
-  }
-
-  void onStore(PhaseStats &S, std::uint64_t Addr) {
-    switch (Caches.access(Core, Addr)) {
-    case HitLevel::L1:
-      ++S.L1Hits;
-      break;
-    case HitLevel::L2:
-      ++S.L2Hits;
-      S.ComputeCycles += Cfg.L2HitCycles * 0.5;
-      break;
-    case HitLevel::LLC:
-      ++S.LLCHits;
-      S.ComputeCycles += Cfg.LLCHitCycles * 0.5;
-      break;
-    case HitLevel::Memory:
-      ++S.MemAccesses;
-      S.StallNs += Cfg.MemLatencyNs / Cfg.StoreMlp;
-      break;
-    }
-  }
-
-  void onPrefetch(PhaseStats &S, std::uint64_t Addr) {
-    // Non-binding: warms the hierarchy, never stalls retirement, but is
-    // throughput-limited by the outstanding-miss capacity.
-    switch (Caches.access(Core, Addr)) {
-    case HitLevel::L1:
-    case HitLevel::L2:
-      break;
-    case HitLevel::LLC:
-      S.StallNs += Cfg.LLCHitCycles / Cfg.fmax() / Cfg.PrefetchMlp;
-      break;
-    case HitLevel::Memory:
-      ++S.MemAccesses;
-      S.StallNs += Cfg.MemLatencyNs / Cfg.PrefetchMlp;
-      break;
-    }
-  }
-};
-
-/// Tracing mode: record the access stream; the runtime's replay supplies hit
-/// levels and timing later, in schedule order.
-struct TracingModel {
-  AccessTrace &Trace;
-
-  void onLoad(PhaseStats &, std::uint64_t Addr, const Instruction *) {
-    Trace.push(AccessTrace::Kind::Load, Addr);
-  }
-  void onStore(PhaseStats &, std::uint64_t Addr) {
-    Trace.push(AccessTrace::Kind::Store, Addr);
-  }
-  void onPrefetch(PhaseStats &, std::uint64_t Addr) {
-    Trace.push(AccessTrace::Kind::Prefetch, Addr);
-  }
-};
-
-} // namespace
 
 template <typename MemModel>
 PhaseStats Interpreter::interpret(const CompiledFunction &CF,
@@ -733,6 +524,8 @@ PhaseStats Interpreter::interpret(const CompiledFunction &CF,
 PhaseStats Interpreter::run(const Function &F, unsigned Core,
                             const std::vector<RuntimeValue> &Args,
                             RuntimeValue *RetOut) {
+  if (Threaded)
+    return Threaded->run(F, Core, Args, RetOut);
   assert(Args.size() == F.getNumArgs() && "argument count mismatch");
   assert(Caches && "fused execution requires a cache hierarchy");
   FusedModel MM{*Caches, Cfg, Core, LoadStats};
@@ -742,6 +535,8 @@ PhaseStats Interpreter::run(const Function &F, unsigned Core,
 PhaseStats Interpreter::runTraced(const Function &F,
                                   const std::vector<RuntimeValue> &Args,
                                   AccessTrace &Trace, RuntimeValue *RetOut) {
+  if (Threaded)
+    return Threaded->runTraced(F, Args, Trace, RetOut);
   assert(Args.size() == F.getNumArgs() && "argument count mismatch");
   TracingModel MM{Trace};
   return interpret(getCompiled(F), Args, RetOut, MM);

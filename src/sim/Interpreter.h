@@ -6,12 +6,20 @@
 ///
 /// \file
 /// Executes Task IR against the simulated memory and cache hierarchy,
-/// producing the frequency-decomposed PhaseStats profile. Functions are
-/// precompiled to a flat slot-addressed form with a precomputed opcode enum
-/// (no per-instruction re-switching over IR kinds), so the seven benchmark
-/// applications run at tens of millions of simulated instructions per second.
+/// producing the frequency-decomposed PhaseStats profile. Interpreter is the
+/// single entry point for both execution backends (MachineConfig::Backend):
 ///
-/// Two execution modes share one interpreter core:
+///  * SimBackend::Switch — the reference interpreter implemented in this
+///    file: functions precompiled to a flat slot-addressed form with a
+///    precomputed opcode enum, executed by one switch per instruction.
+///  * SimBackend::Threaded (default) — register-allocated bytecode run by a
+///    direct-threaded dispatch loop (sim/Bytecode.h,
+///    sim/ThreadedInterpreter.h); Interpreter constructs a
+///    ThreadedInterpreter internally and delegates. Simulated results are
+///    bit-identical to the switch backend (SnapshotTest goldens,
+///    tests/sim/BackendDifferentialTest.cpp); only host speed differs.
+///
+/// Two execution modes share each backend's core loop:
 ///  * run() — the classic fused mode: cache hits/misses are simulated inline
 ///    and timing lands directly in the returned PhaseStats.
 ///  * runTraced() — the host-parallel engine's functional mode: values are
@@ -20,8 +28,9 @@
 ///    single-threaded replay (see runtime/Runtime.cpp), which keeps profiles
 ///    bit-identical for any host thread count.
 ///
-/// Compiled functions can be shared read-only between concurrently running
-/// interpreters via CompiledProgram, pre-populated before execution starts.
+/// Compiled/lowered functions can be shared read-only between concurrently
+/// running interpreters via CompiledProgram, pre-populated before execution
+/// starts; it carries both backends' forms.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -83,11 +92,17 @@ struct RuntimeValue {
 };
 
 class CompiledFunction;
+class ThreadedInterpreter;
+
+namespace bc {
+class BytecodeFunction;
+} // namespace bc
 
 /// A read-only set of compiled functions, built once before execution so
 /// worker threads never mutate shared compiler state. Populate with add()
 /// (single-threaded), then share freely: lookup() is const and safe to call
-/// concurrently.
+/// concurrently. Under SimBackend::Threaded each function is additionally
+/// lowered to bytecode (lookupBytecode).
 class CompiledProgram {
 public:
   CompiledProgram(const MachineConfig &Cfg, const Loader &L);
@@ -102,14 +117,22 @@ public:
   /// Returns the compiled form of \p F, or null when it was never added.
   const CompiledFunction *lookup(const ir::Function &F) const;
 
+  /// Returns the bytecode form of \p F, or null when it was never added or
+  /// the program was built for the switch backend.
+  const bc::BytecodeFunction *lookupBytecode(const ir::Function &F) const;
+
 private:
   const MachineConfig &Cfg;
   const Loader &Load;
   std::unordered_map<const ir::Function *, std::unique_ptr<CompiledFunction>>
       Fns;
+  std::unordered_map<const ir::Function *,
+                     std::unique_ptr<bc::BytecodeFunction>>
+      BCs;
 };
 
-/// Interprets functions on a simulated core.
+/// Interprets functions on a simulated core, through the backend selected by
+/// MachineConfig::Backend.
 class Interpreter {
 public:
   /// Fused-mode interpreter: cache effects simulated inline through
@@ -140,7 +163,7 @@ public:
 
   /// When set, every load executed in fused mode records per-site count/miss
   /// statistics into \p Stats (keyed by the load instruction).
-  void setLoadStats(LoadStatsMap *Stats) { LoadStats = Stats; }
+  void setLoadStats(LoadStatsMap *Stats);
 
 private:
   template <typename MemModel>
@@ -160,6 +183,9 @@ private:
   /// (direct run() users compile on first call).
   std::unordered_map<const ir::Function *, std::unique_ptr<CompiledFunction>>
       Cache;
+  /// Non-null iff Cfg.Backend == SimBackend::Threaded; run()/runTraced()
+  /// delegate to it.
+  std::unique_ptr<ThreadedInterpreter> Threaded;
 };
 
 } // namespace sim

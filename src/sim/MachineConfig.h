@@ -19,11 +19,45 @@
 #define DAECC_SIM_MACHINECONFIG_H
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
 namespace dae {
 namespace sim {
+
+/// Functional execution backend for the simulator's value-producing pass.
+/// Both produce bit-identical RunProfiles, AccessTraces, captures and memory
+/// images (pinned by SnapshotTest's golden hashes and
+/// tests/sim/BackendDifferentialTest.cpp); they differ only in host speed.
+enum class SimBackend : std::uint8_t {
+  /// The classic slot-addressed interpreter: one flat switch over a
+  /// precomputed SimOp enum per executed instruction. Reference semantics.
+  Switch,
+  /// Register-allocated bytecode executed by a direct-threaded dispatch loop
+  /// (computed goto on GCC/Clang), with phis resolved to parallel-copy move
+  /// sequences, constants folded into immediate operand forms, and
+  /// superinstruction fusion for hot pairs (see sim/Bytecode.h).
+  Threaded,
+};
+
+inline const char *simBackendName(SimBackend B) {
+  return B == SimBackend::Switch ? "switch" : "threaded";
+}
+
+/// Process-default backend: DAECC_SIM_BACKEND={switch,threaded} when set,
+/// otherwise Threaded. The bench drivers' --sim-backend= flag overrides this
+/// per run (see bench/BenchUtil.h).
+inline SimBackend defaultSimBackend() {
+  if (const char *Env = std::getenv("DAECC_SIM_BACKEND")) {
+    if (std::strcmp(Env, "switch") == 0)
+      return SimBackend::Switch;
+    if (std::strcmp(Env, "threaded") == 0)
+      return SimBackend::Threaded;
+  }
+  return SimBackend::Threaded;
+}
 
 /// Exact log2 of a power-of-two cache line size. Throws std::invalid_argument
 /// for zero or non-power-of-two values: a silently rounded-up shift (the old
@@ -68,6 +102,11 @@ struct MachineConfig {
   /// stay bit-identical for every (SimThreads, ReplayOverlap) combination
   /// (asserted by tests/runtime/DeterminismTest.cpp).
   bool ReplayOverlap = true;
+
+  /// Functional execution backend (CLI: --sim-backend={switch,threaded} /
+  /// DAECC_SIM_BACKEND). Threaded is the default; Switch keeps the reference
+  /// interpreter. Simulated results are bit-identical either way.
+  SimBackend Backend = defaultSimBackend();
 
   // Private per-core L1/L2, shared LLC. The geometry is a proportionally
   // scaled-down Sandybridge (1/4-1/16 capacity at equal associativity):

@@ -102,30 +102,6 @@ void Memory::storeF64(std::uint64_t Addr, double V) {
   std::memcpy(pagePtr(Addr), &V, sizeof(V));
 }
 
-std::int64_t MemoryView::loadI64(std::uint64_t Addr) {
-  assert(withinPage(Addr) && "unaligned cross-page access");
-  std::int64_t V;
-  std::memcpy(&V, ptr(Addr), sizeof(V));
-  return V;
-}
-
-double MemoryView::loadF64(std::uint64_t Addr) {
-  assert(withinPage(Addr) && "unaligned cross-page access");
-  double V;
-  std::memcpy(&V, ptr(Addr), sizeof(V));
-  return V;
-}
-
-void MemoryView::storeI64(std::uint64_t Addr, std::int64_t V) {
-  assert(withinPage(Addr) && "unaligned cross-page access");
-  std::memcpy(ptr(Addr), &V, sizeof(V));
-}
-
-void MemoryView::storeF64(std::uint64_t Addr, double V) {
-  assert(withinPage(Addr) && "unaligned cross-page access");
-  std::memcpy(ptr(Addr), &V, sizeof(V));
-}
-
 Loader::Loader(const ir::Module &M, std::uint64_t Base) {
   std::uint64_t Cursor = Base;
   for (const auto &G : M.globals()) {

@@ -22,7 +22,9 @@
 #ifndef DAECC_SIM_MEMORY_H
 #define DAECC_SIM_MEMORY_H
 
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -118,10 +120,30 @@ public:
     return LastPtr + (Addr & (Memory::PageSize - 1));
   }
 
-  std::int64_t loadI64(std::uint64_t Addr);
-  double loadF64(std::uint64_t Addr);
-  void storeI64(std::uint64_t Addr, std::int64_t V);
-  void storeF64(std::uint64_t Addr, double V);
+  // Inline (unlike Memory's own accessors): these sit on the simulators'
+  // per-access hot path, where an out-of-line call costs as much as the
+  // access itself. The common case is a page-memo hit: shift, compare,
+  // memcpy.
+  std::int64_t loadI64(std::uint64_t Addr) {
+    assert((Addr & 0xfff) <= 0xff8 && "unaligned cross-page access");
+    std::int64_t V;
+    std::memcpy(&V, ptr(Addr), sizeof(V));
+    return V;
+  }
+  double loadF64(std::uint64_t Addr) {
+    assert((Addr & 0xfff) <= 0xff8 && "unaligned cross-page access");
+    double V;
+    std::memcpy(&V, ptr(Addr), sizeof(V));
+    return V;
+  }
+  void storeI64(std::uint64_t Addr, std::int64_t V) {
+    assert((Addr & 0xfff) <= 0xff8 && "unaligned cross-page access");
+    std::memcpy(ptr(Addr), &V, sizeof(V));
+  }
+  void storeF64(std::uint64_t Addr, double V) {
+    assert((Addr & 0xfff) <= 0xff8 && "unaligned cross-page access");
+    std::memcpy(ptr(Addr), &V, sizeof(V));
+  }
 
 private:
   Memory &M;

@@ -11,6 +11,7 @@
 #include "sim/MachineConfig.h"
 #include "sim/Memory.h"
 #include "sim/PowerModel.h"
+#include "sim/SimOps.h"
 
 #include <gtest/gtest.h>
 
@@ -192,6 +193,20 @@ TEST(PhaseStatsTest, FrequencyDecomposition) {
   // IPC shrinks as stalls dominate at high frequency less... at fixed
   // composition IPC at 3.4 GHz = 1000 / (1500 * 3.4).
   EXPECT_NEAR(S.ipc(3.4), 1000.0 / (1500.0 * 3.4), 1e-9);
+}
+
+// Opcode lowering must refuse unknown enumerators loudly: the old fallback
+// silently mapped them to Add/CmpEQ, executing wrong code. The cast values
+// stay inside the enums' representable range (both have < 16 enumerators),
+// so forming them is well-defined; only the lowering must reject them.
+TEST(SimOpsDeathTest, UnknownBinOpAborts) {
+  EXPECT_DEATH((void)binSimOp(static_cast<BinOp>(15)),
+               "binSimOp: unknown opcode value 15");
+}
+
+TEST(SimOpsDeathTest, UnknownCmpPredAborts) {
+  EXPECT_DEATH((void)cmpSimOp(static_cast<CmpPred>(15)),
+               "cmpSimOp: unknown opcode value 15");
 }
 
 /// Interpreter fixture: sum = Src[0..n) accumulated into Dst[0].
