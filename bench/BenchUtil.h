@@ -20,6 +20,7 @@
 #include "harness/Harness.h"
 #include "pm/Instrumentation.h"
 #include "runtime/Task.h"
+#include "sim/AccessTrace.h"
 #include "sim/MachineConfig.h"
 #include "workloads/Workload.h"
 
@@ -78,24 +79,24 @@ inline unsigned jobsFromArgs(int Argc, char **Argv) {
   return 1u;
 }
 
-/// Functional execution backend: `--sim-backend={switch,threaded}` overrides
-/// the process default (DAECC_SIM_BACKEND, else threaded; see
-/// sim::defaultSimBackend). Either backend produces bit-identical simulated
-/// results; the flag exists to measure the threaded backend's host-side win
-/// (the `interp` block of BENCH_<name>.json) and to keep the reference
-/// interpreter reachable for differential debugging.
+/// Functional execution backend: `--sim-backend={switch,threaded,native}`
+/// overrides the process default (DAECC_SIM_BACKEND, else threaded; see
+/// sim::defaultSimBackend). Every backend produces bit-identical simulated
+/// results; the flag exists to measure the backends' host-side win (the
+/// `interp` block of BENCH_<name>.json) and to keep the reference
+/// interpreter reachable for differential debugging. An unknown value is a
+/// hard error (exit 2), never a silent fall-back — a sweep that thinks it
+/// measured one backend but ran another would produce wrong conclusions.
 inline sim::SimBackend backendFromArgs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
     if (std::strncmp(Argv[I], "--sim-backend=", 14) == 0) {
       const char *V = Argv[I] + 14;
-      if (std::strcmp(V, "switch") == 0)
-        return sim::SimBackend::Switch;
-      if (std::strcmp(V, "threaded") == 0)
-        return sim::SimBackend::Threaded;
+      sim::SimBackend B;
+      if (sim::simBackendFromName(V, B))
+        return B;
       std::fprintf(stderr,
-                   "error: unknown --sim-backend value '%s' "
-                   "(expected 'switch' or 'threaded')\n",
-                   V);
+                   "error: unknown --sim-backend value '%s' (expected %s)\n",
+                   V, sim::simBackendValidValues());
       std::exit(2);
     }
   return sim::defaultSimBackend();
@@ -203,7 +204,7 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 ///                                     the execution backend changes, unlike
 ///                                     the bit-identical simulated results:
 ///                                       backend                  string
-///                                         "switch" or "threaded"
+///                                         "switch", "threaded" or "native"
 ///                                         (--sim-backend /
 ///                                         DAECC_SIM_BACKEND)
 ///                                       functional_wall_seconds  double  host
@@ -214,6 +215,15 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 ///                                         sim_instructions /
 ///                                         functional_wall_seconds; -1 when
 ///                                         no functional time was recorded
+///                                       trace_retained_bytes     int     trace
+///                                         storage capacity held in the
+///                                         process-wide TracePool free-list
+///                                         at report time
+///                                       trace_peak_bytes         int
+///                                         high-water mark of a single
+///                                         trace's recorded bytes across the
+///                                         run (sizing evidence for the
+///                                         reserve-doubling growth policy)
 ///   replay_overlap            object  pipelined wave simulation telemetry:
 ///                                       enabled                  bool    the
 ///                                         run's effective setting
@@ -375,7 +385,9 @@ private:
                    "  \"dae_verify\": %s,\n"
                    "  \"interp\": {\"backend\": \"%s\", "
                    "\"functional_wall_seconds\": %.6f, "
-                   "\"functional_instr_per_sec\": %.1f},\n"
+                   "\"functional_instr_per_sec\": %.1f, "
+                   "\"trace_retained_bytes\": %zu, "
+                   "\"trace_peak_bytes\": %zu},\n"
                    "  \"replay_overlap\": {\"enabled\": %s, "
                    "\"wall_seconds\": %.6f, "
                    "\"no_overlap_wall_seconds\": %.6f, \"speedup\": %.3f},\n"
@@ -387,7 +399,8 @@ private:
                    BaselineSeconds > 0.0 ? BaselineSeconds : -1.0, Speedup,
                    pm::PipelineStats::get().json().c_str(), DaeVerify.c_str(),
                    sim::simBackendName(Backend), FunctionalSeconds,
-                   FunctionalIps,
+                   FunctionalIps, sim::TracePool::global().retainedBytes(),
+                   sim::TracePool::global().peakBytes(),
                    ReplayOverlap ? "true" : "false", Seconds,
                    NoOverlapSeconds > 0.0 ? NoOverlapSeconds : -1.0,
                    OverlapSpeedup, Failures, Status);

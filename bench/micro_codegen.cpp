@@ -9,12 +9,14 @@
 /// generation: full generateAccessPhase throughput per workload task kind
 /// (affine polyhedral synthesis vs. skeleton cloning+marking), the
 /// interpreter's simulated-instruction throughput, and dispatch-throughput
-/// microbenches comparing the two execution backends
-/// (--sim-backend={switch,threaded}) on loop shapes that isolate one cost
-/// each: a tight arithmetic loop (pure dispatch + ALU handlers), a phi-heavy
-/// loop with a parallel-copy swap cycle (trampoline cost), and a load/store
-/// stream (memory-model callbacks + load/binop fusion). Each reports a
-/// per-backend sim_instr/s counter in the benchmark JSON.
+/// microbenches comparing the execution backends
+/// (--sim-backend={switch,threaded,native}) on loop shapes that isolate one
+/// cost each: a tight arithmetic loop (pure dispatch + ALU handlers), a
+/// phi-heavy loop with a parallel-copy swap cycle (trampoline cost), and a
+/// load/store stream (memory-model callbacks + load/binop fusion — for the
+/// native backend, the strength-reduced page translation and inlined trace
+/// stores). Each reports a per-backend sim_instr/s counter in the benchmark
+/// JSON.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -233,6 +235,11 @@ void BM_DispatchArith_Threaded(benchmark::State &State) {
 }
 BENCHMARK(BM_DispatchArith_Threaded)->Unit(benchmark::kMillisecond);
 
+void BM_DispatchArith_Native(benchmark::State &State) {
+  benchDispatch(State, dispatchPrograms().Arith, sim::SimBackend::Native);
+}
+BENCHMARK(BM_DispatchArith_Native)->Unit(benchmark::kMillisecond);
+
 void BM_DispatchPhi_Switch(benchmark::State &State) {
   benchDispatch(State, dispatchPrograms().Phi, sim::SimBackend::Switch);
 }
@@ -242,6 +249,11 @@ void BM_DispatchPhi_Threaded(benchmark::State &State) {
   benchDispatch(State, dispatchPrograms().Phi, sim::SimBackend::Threaded);
 }
 BENCHMARK(BM_DispatchPhi_Threaded)->Unit(benchmark::kMillisecond);
+
+void BM_DispatchPhi_Native(benchmark::State &State) {
+  benchDispatch(State, dispatchPrograms().Phi, sim::SimBackend::Native);
+}
+BENCHMARK(BM_DispatchPhi_Native)->Unit(benchmark::kMillisecond);
 
 void BM_DispatchStream_Switch(benchmark::State &State) {
   benchDispatch(State, dispatchPrograms().Stream, sim::SimBackend::Switch);
@@ -253,6 +265,11 @@ void BM_DispatchStream_Threaded(benchmark::State &State) {
 }
 BENCHMARK(BM_DispatchStream_Threaded)->Unit(benchmark::kMillisecond);
 
+void BM_DispatchStream_Native(benchmark::State &State) {
+  benchDispatch(State, dispatchPrograms().Stream, sim::SimBackend::Native);
+}
+BENCHMARK(BM_DispatchStream_Native)->Unit(benchmark::kMillisecond);
+
 void BM_TraceArith_Switch(benchmark::State &State) {
   benchTrace(State, dispatchPrograms().Arith, sim::SimBackend::Switch);
 }
@@ -263,6 +280,11 @@ void BM_TraceArith_Threaded(benchmark::State &State) {
 }
 BENCHMARK(BM_TraceArith_Threaded)->Unit(benchmark::kMillisecond);
 
+void BM_TraceArith_Native(benchmark::State &State) {
+  benchTrace(State, dispatchPrograms().Arith, sim::SimBackend::Native);
+}
+BENCHMARK(BM_TraceArith_Native)->Unit(benchmark::kMillisecond);
+
 void BM_TraceStream_Switch(benchmark::State &State) {
   benchTrace(State, dispatchPrograms().Stream, sim::SimBackend::Switch);
 }
@@ -272,6 +294,11 @@ void BM_TraceStream_Threaded(benchmark::State &State) {
   benchTrace(State, dispatchPrograms().Stream, sim::SimBackend::Threaded);
 }
 BENCHMARK(BM_TraceStream_Threaded)->Unit(benchmark::kMillisecond);
+
+void BM_TraceStream_Native(benchmark::State &State) {
+  benchTrace(State, dispatchPrograms().Stream, sim::SimBackend::Native);
+}
+BENCHMARK(BM_TraceStream_Native)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

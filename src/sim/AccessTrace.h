@@ -18,6 +18,7 @@
 #ifndef DAECC_SIM_ACCESSTRACE_H
 #define DAECC_SIM_ACCESSTRACE_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <mutex>
@@ -73,11 +74,20 @@ public:
   }
 
   /// Takes \p Buf back (cleared, capacity kept) unless pooling it would
-  /// break a cap, in which case the storage is simply freed.
+  /// break a cap, in which case the storage is simply freed. The buffer's
+  /// recorded length (before clearing) feeds the sizing hint the next
+  /// acquirer pre-reserves against — wave N's trace length is the best
+  /// available predictor for wave N+1's.
   void recycle(std::vector<std::uint64_t> Buf) {
+    const std::size_t Events = Buf.size();
+    const std::size_t UsedBytes = Events * sizeof(std::uint64_t);
     Buf.clear();
     std::size_t Bytes = Buf.capacity() * sizeof(std::uint64_t);
     std::lock_guard<std::mutex> Lock(Mutex);
+    if (Events > 0)
+      LastEvents = Events;
+    if (UsedBytes > PeakBytes)
+      PeakBytes = UsedBytes;
     if (Free.size() >= MaxPooled || Bytes > MaxBufferBytes ||
         RetainedBytes + Bytes > MaxTotalBytes)
       return;
@@ -96,6 +106,22 @@ public:
     return RetainedBytes;
   }
 
+  /// Event count of the last non-empty recycled trace: the reserve hint
+  /// AccessTrace::acquireFrom applies so hot-loop push never reallocates
+  /// mid-trace in the steady state (waves resemble their predecessors).
+  std::size_t suggestedEvents() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return LastEvents;
+  }
+
+  /// High-water mark of a single trace's recorded bytes (size at recycle,
+  /// not capacity) across the pool's lifetime; reported per run in the
+  /// BENCH_*.json `interp` block.
+  std::size_t peakBytes() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return PeakBytes;
+  }
+
   /// Buffers currently pooled (testing/diagnostics).
   std::size_t pooledBuffers() const {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -109,6 +135,8 @@ private:
   mutable std::mutex Mutex;
   std::vector<std::vector<std::uint64_t>> Free;
   std::size_t RetainedBytes = 0;
+  std::size_t LastEvents = 0;
+  std::size_t PeakBytes = 0;
   std::uint64_t Reuses = 0;
 };
 
@@ -124,6 +152,13 @@ public:
 
   void push(Kind K, std::uint64_t Addr) {
     assert((Addr & ~AddrMask) == 0 && "simulated address overflows tag bits");
+    // Explicit reserve-doubling instead of the library's growth policy: the
+    // policy is then identical across standard libraries and matches the
+    // native backend's nativeGrow, and the branch is a single predictable
+    // compare in the hot loop (almost never taken once acquireFrom has
+    // applied the pool's sizing hint).
+    if (Events.size() == Events.capacity())
+      Events.reserve(Events.capacity() ? Events.capacity() * 2 : MinReserve);
     Events.push_back((static_cast<std::uint64_t>(K) << 62) |
                      (Addr & AddrMask));
   }
@@ -141,15 +176,67 @@ public:
   /// after its replay).
   void release() { std::vector<std::uint64_t>().swap(Events); }
 
-  /// Adopts pooled storage from \p Pool before recording begins.
-  void acquireFrom(TracePool &Pool) { Events = Pool.acquire(); }
+  /// Adopts pooled storage from \p Pool before recording begins and
+  /// pre-reserves the pool's sizing hint (the previous wave's trace length),
+  /// so steady-state recording never grows mid-trace.
+  void acquireFrom(TracePool &Pool) {
+    Events = Pool.acquire();
+    std::size_t Hint = Pool.suggestedEvents();
+    if (Hint > Events.capacity())
+      Events.reserve(Hint);
+  }
   /// Hands the storage back to \p Pool (replaces release() on hot paths).
   void releaseTo(TracePool &Pool) {
     Pool.recycle(std::move(Events));
     Events.clear();
   }
 
+  /// \name Raw-cursor protocol for the native backend
+  /// Generated code appends events through a raw write pointer instead of
+  /// push(), with the capacity check hoisted to one compare per straight-line
+  /// region. The vector is resized to its full capacity while the cursor is
+  /// out (so raw writes land inside [data(), data()+size()) — well-defined
+  /// and sanitizer-clean) and trimmed back to the recorded length on commit.
+  /// @{
+
+  /// Opens the cursor: ensures at least \p HintEvents of headroom, exposes
+  /// the full capacity, and returns the next write slot. Pair every
+  /// nativeBegin with exactly one nativeCommit.
+  std::uint64_t *nativeBegin(std::size_t HintEvents) {
+    std::size_t N = Events.size();
+    if (Events.capacity() < N + HintEvents)
+      Events.reserve(std::max(Events.capacity() * 2, N + HintEvents));
+    if (Events.capacity() == 0)
+      Events.reserve(MinReserve);
+    Events.resize(Events.capacity());
+    return Events.data() + N;
+  }
+
+  /// One past the writable storage for the open cursor.
+  std::uint64_t *nativeEnd() { return Events.data() + Events.size(); }
+
+  /// Closes the cursor: \p Ptr is the final write position; everything below
+  /// it is recorded, the exposed slack above it is discarded.
+  void nativeCommit(std::uint64_t *Ptr) {
+    assert(Ptr >= Events.data() && Ptr <= Events.data() + Events.size() &&
+           "native trace cursor out of bounds");
+    Events.resize(static_cast<std::size_t>(Ptr - Events.data()));
+  }
+
+  /// Grows an open cursor that is about to overflow: commits at \p Ptr,
+  /// doubles (at least \p NeededEvents more), reopens, and returns the new
+  /// write position.
+  std::uint64_t *nativeGrow(std::uint64_t *Ptr, std::size_t NeededEvents) {
+    nativeCommit(Ptr);
+    return nativeBegin(NeededEvents);
+  }
+  /// @}
+
 private:
+  /// First reservation of an empty trace (64 events = one cache line of
+  /// slack past the typical tiny-phase trace).
+  static constexpr std::size_t MinReserve = 64;
+
   std::vector<std::uint64_t> Events;
 };
 

@@ -10,6 +10,8 @@
 #include "sim/Bytecode.h"
 #include "sim/ExecModels.h"
 #include "sim/SimOps.h"
+#include "sim/NativeCodegen.h"
+#include "sim/NativeExec.h"
 #include "sim/ThreadedInterpreter.h"
 #include "support/Casting.h"
 
@@ -210,8 +212,11 @@ void CompiledProgram::add(const Function &F) {
   if (Fns.count(&F))
     return;
   Fns.emplace(&F, std::make_unique<CompiledFunction>(F, Load, Cfg));
-  if (Cfg.Backend == SimBackend::Threaded)
-    BCs.emplace(&F, bc::lower(F, Load, Cfg));
+  if (Cfg.Backend != SimBackend::Switch) {
+    auto It = BCs.emplace(&F, bc::lower(F, Load, Cfg)).first;
+    if (Cfg.Backend == SimBackend::Native)
+      NCs.emplace(&F, native::compile(*It->second));
+  }
   // Pull in everything reachable through calls so execution never compiles.
   for (const auto &BB : F)
     for (const auto &I : *BB)
@@ -230,6 +235,12 @@ CompiledProgram::lookupBytecode(const Function &F) const {
   return It == BCs.end() ? nullptr : It->second.get();
 }
 
+const native::NativeCode *
+CompiledProgram::lookupNative(const Function &F) const {
+  auto It = NCs.find(&F);
+  return It == NCs.end() ? nullptr : It->second.get();
+}
+
 //===----------------------------------------------------------------------===//
 // Interpreter
 //===----------------------------------------------------------------------===//
@@ -241,6 +252,9 @@ Interpreter::Interpreter(const MachineConfig &Cfg, Memory &Mem,
   if (Cfg.Backend == SimBackend::Threaded)
     Threaded = std::make_unique<ThreadedInterpreter>(Cfg, Mem, &Caches, L,
                                                      Shared);
+  else if (Cfg.Backend == SimBackend::Native)
+    Native =
+        std::make_unique<NativeInterpreter>(Cfg, Mem, &Caches, L, Shared);
 }
 
 Interpreter::Interpreter(const MachineConfig &Cfg, Memory &Mem,
@@ -249,6 +263,9 @@ Interpreter::Interpreter(const MachineConfig &Cfg, Memory &Mem,
   if (Cfg.Backend == SimBackend::Threaded)
     Threaded = std::make_unique<ThreadedInterpreter>(Cfg, Mem, nullptr, L,
                                                      Shared);
+  else if (Cfg.Backend == SimBackend::Native)
+    Native =
+        std::make_unique<NativeInterpreter>(Cfg, Mem, nullptr, L, Shared);
 }
 
 Interpreter::~Interpreter() = default;
@@ -257,6 +274,8 @@ void Interpreter::setLoadStats(LoadStatsMap *Stats) {
   LoadStats = Stats;
   if (Threaded)
     Threaded->setLoadStats(Stats);
+  if (Native)
+    Native->setLoadStats(Stats);
 }
 
 const CompiledFunction &Interpreter::getCompiled(const Function &F) {
@@ -526,6 +545,8 @@ PhaseStats Interpreter::run(const Function &F, unsigned Core,
                             RuntimeValue *RetOut) {
   if (Threaded)
     return Threaded->run(F, Core, Args, RetOut);
+  if (Native)
+    return Native->run(F, Core, Args, RetOut);
   assert(Args.size() == F.getNumArgs() && "argument count mismatch");
   assert(Caches && "fused execution requires a cache hierarchy");
   FusedModel MM{*Caches, Cfg, Core, LoadStats};
@@ -537,6 +558,8 @@ PhaseStats Interpreter::runTraced(const Function &F,
                                   AccessTrace &Trace, RuntimeValue *RetOut) {
   if (Threaded)
     return Threaded->runTraced(F, Args, Trace, RetOut);
+  if (Native)
+    return Native->runTraced(F, Args, Trace, RetOut);
   assert(Args.size() == F.getNumArgs() && "argument count mismatch");
   TracingModel MM{Trace};
   return interpret(getCompiled(F), Args, RetOut, MM);

@@ -18,6 +18,11 @@
 ///    ThreadedInterpreter internally and delegates. Simulated results are
 ///    bit-identical to the switch backend (SnapshotTest goldens,
 ///    tests/sim/BackendDifferentialTest.cpp); only host speed differs.
+///  * SimBackend::Native — the bytecode lowered once per function to
+///    executable host code (sim/NativeCodegen.h) and run by a
+///    NativeInterpreter (sim/NativeExec.h); functions the lowerer rejects
+///    fall back to the threaded interpreter per function. Same bit-identical
+///    contract as the threaded backend.
 ///
 /// Two execution modes share each backend's core loop:
 ///  * run() — the classic fused mode: cache hits/misses are simulated inline
@@ -93,16 +98,23 @@ struct RuntimeValue {
 
 class CompiledFunction;
 class ThreadedInterpreter;
+class NativeInterpreter;
 
 namespace bc {
 class BytecodeFunction;
 } // namespace bc
 
+namespace native {
+class NativeCode;
+} // namespace native
+
 /// A read-only set of compiled functions, built once before execution so
 /// worker threads never mutate shared compiler state. Populate with add()
 /// (single-threaded), then share freely: lookup() is const and safe to call
-/// concurrently. Under SimBackend::Threaded each function is additionally
-/// lowered to bytecode (lookupBytecode).
+/// concurrently. Under SimBackend::Threaded and SimBackend::Native each
+/// function is additionally lowered to bytecode (lookupBytecode); under
+/// Native the bytecode is further compiled to native code (lookupNative),
+/// null per function when the lowerer rejected it.
 class CompiledProgram {
 public:
   CompiledProgram(const MachineConfig &Cfg, const Loader &L);
@@ -121,6 +133,11 @@ public:
   /// the program was built for the switch backend.
   const bc::BytecodeFunction *lookupBytecode(const ir::Function &F) const;
 
+  /// Returns the native code of \p F, or null when it was never added, the
+  /// program was not built for the native backend, or the native lowerer
+  /// rejected the function (callers fall back to the bytecode form).
+  const native::NativeCode *lookupNative(const ir::Function &F) const;
+
 private:
   const MachineConfig &Cfg;
   const Loader &Load;
@@ -129,6 +146,9 @@ private:
   std::unordered_map<const ir::Function *,
                      std::unique_ptr<bc::BytecodeFunction>>
       BCs;
+  std::unordered_map<const ir::Function *,
+                     std::shared_ptr<const native::NativeCode>>
+      NCs;
 };
 
 /// Interprets functions on a simulated core, through the backend selected by
@@ -186,6 +206,9 @@ private:
   /// Non-null iff Cfg.Backend == SimBackend::Threaded; run()/runTraced()
   /// delegate to it.
   std::unique_ptr<ThreadedInterpreter> Threaded;
+  /// Non-null iff Cfg.Backend == SimBackend::Native; run()/runTraced()
+  /// delegate to it.
+  std::unique_ptr<NativeInterpreter> Native;
 };
 
 } // namespace sim

@@ -19,6 +19,7 @@
 #define DAECC_SIM_MACHINECONFIG_H
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -28,8 +29,8 @@ namespace dae {
 namespace sim {
 
 /// Functional execution backend for the simulator's value-producing pass.
-/// Both produce bit-identical RunProfiles, AccessTraces, captures and memory
-/// images (pinned by SnapshotTest's golden hashes and
+/// All three produce bit-identical RunProfiles, AccessTraces, captures and
+/// memory images (pinned by SnapshotTest's golden hashes and
 /// tests/sim/BackendDifferentialTest.cpp); they differ only in host speed.
 enum class SimBackend : std::uint8_t {
   /// The classic slot-addressed interpreter: one flat switch over a
@@ -40,21 +41,66 @@ enum class SimBackend : std::uint8_t {
   /// sequences, constants folded into immediate operand forms, and
   /// superinstruction fusion for hot pairs (see sim/Bytecode.h).
   Threaded,
+  /// The threaded backend's bytecode lowered once more to executable host
+  /// code (sim/NativeCodegen.h): an x86-64 template JIT with trace emission
+  /// and page translation inlined at the load/store sites, or portable
+  /// C-emission compiled through $DAECC_NATIVE_CC on other hosts. Functions
+  /// the lowerer cannot compile fall back to the threaded loop per function.
+  Native,
 };
 
 inline const char *simBackendName(SimBackend B) {
-  return B == SimBackend::Switch ? "switch" : "threaded";
+  switch (B) {
+  case SimBackend::Switch:
+    return "switch";
+  case SimBackend::Threaded:
+    return "threaded";
+  case SimBackend::Native:
+    return "native";
+  }
+  return "unknown";
 }
 
-/// Process-default backend: DAECC_SIM_BACKEND={switch,threaded} when set,
-/// otherwise Threaded. The bench drivers' --sim-backend= flag overrides this
-/// per run (see bench/BenchUtil.h).
+/// All valid values of --sim-backend / DAECC_SIM_BACKEND, for error messages.
+inline const char *simBackendValidValues() {
+  return "'switch', 'threaded' or 'native'";
+}
+
+/// Strict name -> backend mapping. Returns false (leaving \p Out untouched)
+/// for anything but the exact lowercase names.
+inline bool simBackendFromName(const char *Name, SimBackend &Out) {
+  if (!Name)
+    return false;
+  if (std::strcmp(Name, "switch") == 0) {
+    Out = SimBackend::Switch;
+    return true;
+  }
+  if (std::strcmp(Name, "threaded") == 0) {
+    Out = SimBackend::Threaded;
+    return true;
+  }
+  if (std::strcmp(Name, "native") == 0) {
+    Out = SimBackend::Native;
+    return true;
+  }
+  return false;
+}
+
+/// Process-default backend: DAECC_SIM_BACKEND={switch,threaded,native} when
+/// set, otherwise Threaded. An unknown value is a hard configuration error
+/// (exit 2), not a silent fall-back: a sweep that thinks it measured the
+/// native backend but silently ran threaded would produce wrong conclusions.
+/// The bench drivers' --sim-backend= flag overrides this per run (see
+/// bench/BenchUtil.h).
 inline SimBackend defaultSimBackend() {
   if (const char *Env = std::getenv("DAECC_SIM_BACKEND")) {
-    if (std::strcmp(Env, "switch") == 0)
-      return SimBackend::Switch;
-    if (std::strcmp(Env, "threaded") == 0)
-      return SimBackend::Threaded;
+    SimBackend B;
+    if (simBackendFromName(Env, B))
+      return B;
+    std::fprintf(stderr,
+                 "error: unknown DAECC_SIM_BACKEND value '%s' (expected %s)\n",
+                 Env, simBackendValidValues());
+    std::exit(2);
   }
   return SimBackend::Threaded;
 }
@@ -103,9 +149,10 @@ struct MachineConfig {
   /// (asserted by tests/runtime/DeterminismTest.cpp).
   bool ReplayOverlap = true;
 
-  /// Functional execution backend (CLI: --sim-backend={switch,threaded} /
-  /// DAECC_SIM_BACKEND). Threaded is the default; Switch keeps the reference
-  /// interpreter. Simulated results are bit-identical either way.
+  /// Functional execution backend (CLI: --sim-backend={switch,threaded,
+  /// native} / DAECC_SIM_BACKEND). Threaded is the default; Switch keeps the
+  /// reference interpreter; Native compiles the bytecode to host code.
+  /// Simulated results are bit-identical for every choice.
   SimBackend Backend = defaultSimBackend();
 
   // Private per-core L1/L2, shared LLC. The geometry is a proportionally

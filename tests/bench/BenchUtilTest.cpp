@@ -1,0 +1,95 @@
+//===- tests/bench/BenchUtilTest.cpp - Bench flag parsing ------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for the bench drivers' shared flag parsing, centered on the
+// backend selection: every valid --sim-backend / DAECC_SIM_BACKEND name maps
+// to its SimBackend, and any unknown value is a hard error (exit 2) naming
+// the valid choices — never a silent fall-back that would let a sweep
+// mislabel which backend it measured.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace dae;
+using namespace dae::bench;
+using namespace dae::sim;
+
+namespace {
+
+SimBackend parse(const char *Flag) {
+  char Prog[] = "bench";
+  char Arg[64];
+  std::snprintf(Arg, sizeof(Arg), "%s", Flag);
+  char *Argv[] = {Prog, Arg};
+  return backendFromArgs(2, Argv);
+}
+
+TEST(BenchUtil, BackendFlagMapsEveryValidName) {
+  EXPECT_EQ(parse("--sim-backend=switch"), SimBackend::Switch);
+  EXPECT_EQ(parse("--sim-backend=threaded"), SimBackend::Threaded);
+  EXPECT_EQ(parse("--sim-backend=native"), SimBackend::Native);
+}
+
+TEST(BenchUtil, BackendDefaultsWithoutFlag) {
+  unsetenv("DAECC_SIM_BACKEND");
+  char Prog[] = "bench";
+  char *Argv[] = {Prog};
+  EXPECT_EQ(backendFromArgs(1, Argv), SimBackend::Threaded);
+}
+
+TEST(BenchUtil, BackendEnvOverridesDefault) {
+  setenv("DAECC_SIM_BACKEND", "native", 1);
+  char Prog[] = "bench";
+  char *Argv[] = {Prog};
+  EXPECT_EQ(backendFromArgs(1, Argv), SimBackend::Native);
+  setenv("DAECC_SIM_BACKEND", "switch", 1);
+  EXPECT_EQ(backendFromArgs(1, Argv), SimBackend::Switch);
+  unsetenv("DAECC_SIM_BACKEND");
+}
+
+TEST(BenchUtil, FlagOverridesEnv) {
+  setenv("DAECC_SIM_BACKEND", "switch", 1);
+  EXPECT_EQ(parse("--sim-backend=native"), SimBackend::Native);
+  unsetenv("DAECC_SIM_BACKEND");
+}
+
+TEST(BenchUtilDeathTest, UnknownBackendFlagIsAHardError) {
+  EXPECT_EXIT(parse("--sim-backend=fastest"),
+              ::testing::ExitedWithCode(2),
+              "unknown --sim-backend value 'fastest'.*'switch', 'threaded' "
+              "or 'native'");
+}
+
+TEST(BenchUtilDeathTest, UnknownBackendEnvIsAHardError) {
+  char Prog[] = "bench";
+  char *Argv[] = {Prog};
+  EXPECT_EXIT(
+      {
+        setenv("DAECC_SIM_BACKEND", "turbo", 1);
+        backendFromArgs(1, Argv);
+      },
+      ::testing::ExitedWithCode(2), "unknown DAECC_SIM_BACKEND value 'turbo'");
+  unsetenv("DAECC_SIM_BACKEND");
+}
+
+// The strict name mapping itself (shared by flag and env paths).
+TEST(BenchUtil, SimBackendFromNameIsStrict) {
+  SimBackend B = SimBackend::Switch;
+  EXPECT_FALSE(simBackendFromName(nullptr, B));
+  EXPECT_FALSE(simBackendFromName("", B));
+  EXPECT_FALSE(simBackendFromName("Threaded", B)); // case-sensitive
+  EXPECT_FALSE(simBackendFromName("threaded ", B));
+  EXPECT_EQ(B, SimBackend::Switch) << "failed parse must not write Out";
+  EXPECT_TRUE(simBackendFromName("native", B));
+  EXPECT_EQ(B, SimBackend::Native);
+}
+
+} // namespace

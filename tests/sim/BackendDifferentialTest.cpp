@@ -1,19 +1,19 @@
-//===- tests/sim/BackendDifferentialTest.cpp - Switch vs threaded backend --===//
+//===- tests/sim/BackendDifferentialTest.cpp - Cross-backend differential --===//
 //
 // Part of daecc. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
-// Differential testing of the two functional execution backends
-// (MachineConfig::Backend): the reference switch interpreter and the
-// register-allocated direct-threaded bytecode backend must produce
-// bit-identical observables on every paper workload — RunProfiles (every
-// PhaseStats field, EXPECT_EQ on doubles included), ordered AccessTraces,
-// final memory images, and output snapshots — across scheme (CAE, Manual
-// DAE, Auto DAE) and host thread count. Any divergence is a backend bug,
-// not noise: the bytecode lowering is required to preserve FP addend order,
-// memory-model callback order, and the exact RuntimeValue write patterns of
-// the switch interpreter.
+// Differential testing of the functional execution backends
+// (MachineConfig::Backend): the reference switch interpreter, the
+// register-allocated direct-threaded bytecode backend, and the native
+// codegen backend must produce bit-identical observables on every paper
+// workload — RunProfiles (every PhaseStats field, EXPECT_EQ on doubles
+// included), ordered AccessTraces, final memory images, and output
+// snapshots — across scheme (CAE, Manual DAE, Auto DAE) and host thread
+// count. Any divergence is a backend bug, not noise: both lowerings are
+// required to preserve FP addend order, memory-model callback order, and
+// the exact RuntimeValue write patterns of the switch interpreter.
 //
 //===----------------------------------------------------------------------===//
 
@@ -63,7 +63,7 @@ void expectProfilesEqual(const RunProfile &A, const RunProfile &B) {
 }
 
 /// End-to-end: each paper workload through the full harness (CAE, Manual
-/// DAE, Auto DAE) under both backends, at 1 and 4 sim threads. Profiles and
+/// DAE, Auto DAE) under every backend, at 1 and 4 sim threads. Profiles and
 /// raw output snapshots must match bit for bit.
 class BackendHarnessDifferential
     : public ::testing::TestWithParam<const char *> {};
@@ -78,15 +78,21 @@ TEST_P(BackendHarnessDifferential, SchemesMatchAcrossBackends) {
   };
   for (unsigned Threads : {1u, 4u}) {
     harness::AppResult Ref = RunWith(SimBackend::Switch, Threads);
-    harness::AppResult Got = RunWith(SimBackend::Threaded, Threads);
     EXPECT_TRUE(Ref.OutputsMatch) << "switch, " << Threads << " threads";
-    EXPECT_TRUE(Got.OutputsMatch) << "threaded, " << Threads << " threads";
-    expectProfilesEqual(Ref.Cae, Got.Cae);
-    expectProfilesEqual(Ref.Manual, Got.Manual);
-    expectProfilesEqual(Ref.Auto, Got.Auto);
-    EXPECT_EQ(Ref.CaeOutputs, Got.CaeOutputs) << Threads << " threads";
-    EXPECT_EQ(Ref.ManualOutputs, Got.ManualOutputs) << Threads << " threads";
-    EXPECT_EQ(Ref.AutoOutputs, Got.AutoOutputs) << Threads << " threads";
+    for (SimBackend Backend : {SimBackend::Threaded, SimBackend::Native}) {
+      harness::AppResult Got = RunWith(Backend, Threads);
+      EXPECT_TRUE(Got.OutputsMatch)
+          << simBackendName(Backend) << ", " << Threads << " threads";
+      expectProfilesEqual(Ref.Cae, Got.Cae);
+      expectProfilesEqual(Ref.Manual, Got.Manual);
+      expectProfilesEqual(Ref.Auto, Got.Auto);
+      EXPECT_EQ(Ref.CaeOutputs, Got.CaeOutputs)
+          << simBackendName(Backend) << ", " << Threads << " threads";
+      EXPECT_EQ(Ref.ManualOutputs, Got.ManualOutputs)
+          << simBackendName(Backend) << ", " << Threads << " threads";
+      EXPECT_EQ(Ref.AutoOutputs, Got.AutoOutputs)
+          << simBackendName(Backend) << ", " << Threads << " threads";
+    }
   }
 }
 
@@ -125,11 +131,15 @@ TEST_P(BackendRuntimeDifferential, ProfilesAndMemoryImagesMatch) {
   };
 
   for (unsigned Threads : {1u, 4u}) {
-    std::uint64_t RefHash = 0, GotHash = 0;
+    std::uint64_t RefHash = 0;
     RunProfile Ref = RunWith(SimBackend::Switch, Threads, &RefHash);
-    RunProfile Got = RunWith(SimBackend::Threaded, Threads, &GotHash);
-    expectProfilesEqual(Ref, Got);
-    EXPECT_EQ(RefHash, GotHash) << Threads << " threads";
+    for (SimBackend Backend : {SimBackend::Threaded, SimBackend::Native}) {
+      std::uint64_t GotHash = 0;
+      RunProfile Got = RunWith(Backend, Threads, &GotHash);
+      expectProfilesEqual(Ref, Got);
+      EXPECT_EQ(RefHash, GotHash)
+          << simBackendName(Backend) << ", " << Threads << " threads";
+    }
   }
 }
 
@@ -165,17 +175,21 @@ TEST_P(BackendTraceDifferential, AccessTracesMatch) {
     return Mem.imageHash();
   };
 
-  std::vector<AccessTrace> RefTraces, GotTraces;
-  std::vector<PhaseStats> RefStats, GotStats;
+  std::vector<AccessTrace> RefTraces;
+  std::vector<PhaseStats> RefStats;
   std::uint64_t RefHash = RunWith(SimBackend::Switch, &RefTraces, &RefStats);
-  std::uint64_t GotHash = RunWith(SimBackend::Threaded, &GotTraces, &GotStats);
+  for (SimBackend Backend : {SimBackend::Threaded, SimBackend::Native}) {
+    std::vector<AccessTrace> GotTraces;
+    std::vector<PhaseStats> GotStats;
+    std::uint64_t GotHash = RunWith(Backend, &GotTraces, &GotStats);
 
-  EXPECT_EQ(RefHash, GotHash);
-  ASSERT_EQ(RefTraces.size(), GotTraces.size());
-  for (size_t I = 0; I != RefTraces.size(); ++I) {
-    expectStatsEqual(RefStats[I], GotStats[I], "traced", I);
-    EXPECT_EQ(RefTraces[I].events(), GotTraces[I].events())
-        << "trace of task " << I;
+    EXPECT_EQ(RefHash, GotHash) << simBackendName(Backend);
+    ASSERT_EQ(RefTraces.size(), GotTraces.size());
+    for (size_t I = 0; I != RefTraces.size(); ++I) {
+      expectStatsEqual(RefStats[I], GotStats[I], simBackendName(Backend), I);
+      EXPECT_EQ(RefTraces[I].events(), GotTraces[I].events())
+          << simBackendName(Backend) << " trace of task " << I;
+    }
   }
 }
 
