@@ -148,6 +148,140 @@ inline bool daeVerifyFromArgs(int Argc, char **Argv) {
   return Env && Env[0] == '1';
 }
 
+/// Strict positive-integer flag value. Garbage (non-numeric, trailing junk,
+/// zero, negative) is a hard configuration error (exit 2), never a silent
+/// fall-back to a default — a sweep that asked for 8 cores and silently got
+/// 1 would mislabel its own results.
+inline unsigned parseUnsignedFlag(const char *Flag, const char *Value) {
+  char *End = nullptr;
+  long N = std::strtol(Value, &End, 10);
+  if (End == Value || *End != '\0' || N <= 0) {
+    std::fprintf(stderr,
+                 "error: invalid %s value '%s' (expected a positive "
+                 "integer)\n",
+                 Flag, Value);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(N);
+}
+
+/// The suite drivers' shared command-line surface, parsed once. Every driver
+/// used to repeat the same half-dozen *FromArgs calls plus its own ad-hoc
+/// loops; BenchOptions::parse is the single place flags (and their env
+/// fallbacks) are interpreted, and machineConfig() is the single place they
+/// are applied to a MachineConfig. Unknown values of closed-set flags are
+/// hard errors (exit 2).
+struct BenchOptions {
+  workloads::Scale Scale = workloads::Scale::Full;
+  unsigned SimThreads = 1;
+  unsigned Jobs = 1;
+  sim::SimBackend Backend = sim::defaultSimBackend();
+  bool ReplayOverlap = true;
+  bool PassStats = false;
+  bool DaeVerify = false;
+  bool NoBaseline = false;
+  /// --cores=N: simulated core count (0 keeps the machine default). The
+  /// contention driver also uses it to bound the co-run sweep.
+  unsigned Cores = 0;
+  /// --big-little=B,L: heterogeneous topology (see
+  /// sim::MachineConfig::makeBigLittle). Overrides --cores.
+  unsigned BigCores = 0, LittleCores = 0;
+  /// --mix=a,b,c: workload names co-scheduled on the contention timeline
+  /// (validated against the registry by the driver via
+  /// workloads::buildByName).
+  std::vector<std::string> Mix;
+  /// --governor={ondemand,conservative,both}: which reactive baselines the
+  /// contention driver reports.
+  std::string Governor = "both";
+
+  static BenchOptions parse(int Argc, char **Argv) {
+    BenchOptions O;
+    O.Scale = scaleFromArgs(Argc, Argv);
+    O.SimThreads = simThreadsFromArgs(Argc, Argv);
+    O.Jobs = jobsFromArgs(Argc, Argv);
+    O.Backend = backendFromArgs(Argc, Argv);
+    O.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
+    O.PassStats = pipelineFlagsFromArgs(Argc, Argv);
+    O.DaeVerify = daeVerifyFromArgs(Argc, Argv);
+    for (int I = 1; I < Argc; ++I) {
+      const char *A = Argv[I];
+      if (std::strcmp(A, "--no-baseline") == 0) {
+        O.NoBaseline = true;
+      } else if (std::strncmp(A, "--cores=", 8) == 0) {
+        O.Cores = parseUnsignedFlag("--cores", A + 8);
+      } else if (std::strncmp(A, "--big-little=", 13) == 0) {
+        const char *V = A + 13;
+        const char *Comma = std::strchr(V, ',');
+        if (!Comma || Comma == V || Comma[1] == '\0') {
+          std::fprintf(stderr,
+                       "error: invalid --big-little value '%s' (expected "
+                       "BIG,LITTLE counts, e.g. 4,4)\n",
+                       V);
+          std::exit(2);
+        }
+        std::string Big(V, Comma);
+        O.BigCores = parseUnsignedFlag("--big-little", Big.c_str());
+        O.LittleCores = parseUnsignedFlag("--big-little", Comma + 1);
+      } else if (std::strncmp(A, "--mix=", 6) == 0) {
+        const char *V = A + 6;
+        while (*V) {
+          const char *Comma = std::strchr(V, ',');
+          std::string Name = Comma ? std::string(V, Comma) : std::string(V);
+          if (Name.empty()) {
+            std::fprintf(stderr,
+                         "error: invalid --mix value '%s' (empty workload "
+                         "name)\n",
+                         A + 6);
+            std::exit(2);
+          }
+          O.Mix.push_back(std::move(Name));
+          V = Comma ? Comma + 1 : V + std::strlen(V);
+          if (Comma && !*V) {
+            std::fprintf(stderr,
+                         "error: invalid --mix value '%s' (trailing comma)\n",
+                         A + 6);
+            std::exit(2);
+          }
+        }
+        if (O.Mix.empty()) {
+          std::fprintf(stderr, "error: --mix requires at least one workload "
+                               "name\n");
+          std::exit(2);
+        }
+      } else if (std::strncmp(A, "--governor=", 11) == 0) {
+        const char *V = A + 11;
+        if (std::strcmp(V, "ondemand") != 0 &&
+            std::strcmp(V, "conservative") != 0 &&
+            std::strcmp(V, "both") != 0) {
+          std::fprintf(stderr,
+                       "error: unknown --governor value '%s' (expected "
+                       "'ondemand', 'conservative' or 'both')\n",
+                       V);
+          std::exit(2);
+        }
+        O.Governor = V;
+      }
+    }
+    return O;
+  }
+
+  /// Applies the machine-shaping options to a fresh MachineConfig.
+  sim::MachineConfig machineConfig() const {
+    sim::MachineConfig Cfg;
+    Cfg.SimThreads = SimThreads;
+    Cfg.ReplayOverlap = ReplayOverlap;
+    Cfg.Backend = Backend;
+    if (BigCores + LittleCores > 0)
+      Cfg.makeBigLittle(BigCores, LittleCores);
+    else if (Cores)
+      Cfg.NumCores = Cores;
+    return Cfg;
+  }
+
+  /// Whether the driver should measure the sequential --jobs=1 reference.
+  bool measureBaseline() const { return Jobs > 1 && !NoBaseline; }
+};
+
 inline void printRule(int Width = 78) {
   for (int I = 0; I != Width; ++I)
     std::putchar('-');
@@ -238,6 +372,20 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 ///                                       speedup                  double
 ///                                         no_overlap_wall_seconds /
 ///                                         wall_seconds; -1 when not measured
+///   contention                array   multi-core co-run sweep entries
+///                                     (bench/fig_contention.cpp), one object
+///                                     per way count: ways, mix (comma-joined
+///                                     workload names), absolute EDP (J*s)
+///                                     per policy — cae_max_edp,
+///                                     cae_ondemand_edp,
+///                                     cae_conservative_edp, dae_minmax_edp,
+///                                     dae_oracle_edp — normalized EDP
+///                                     (policy / cae_max) per policy as
+///                                     *_norm, plus makespan_ns /
+///                                     queue_ns / dram_misses of the
+///                                     dae_oracle timeline (the bandwidth
+///                                     pressure signal). Empty when the
+///                                     driver ran no co-run sweep.
 ///   failures                  int     apps whose schemes disagreed (or
 ///                                     otherwise failed)
 ///   status                    string  "started" while running, then "ok"
@@ -319,6 +467,38 @@ public:
     DaeVerifyEntries.push_back(Buf);
   }
 
+  /// Records one co-run sweep point for the contention JSON block: the five
+  /// policies' EDPs (absolute and normalized to CAE at fmax) plus the oracle
+  /// timeline's bandwidth-pressure signal.
+  void addContention(unsigned Ways, const std::string &MixNames,
+                     const harness::MixResult &R) {
+    double Base = R.CaeMax.EdpJs;
+    auto Norm = [Base](double Edp) { return Base > 0.0 ? Edp / Base : -1.0; };
+    double QueueNs = 0.0;
+    std::uint64_t DramMisses = 0;
+    for (const runtime::CoreTimelineReport &C : R.DaeOracle.Cores) {
+      QueueNs += C.QueueNs;
+      DramMisses += C.DramMisses;
+    }
+    char Buf[768];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\"ways\": %u, \"mix\": \"%s\", "
+        "\"cae_max_edp\": %.6e, \"cae_ondemand_edp\": %.6e, "
+        "\"cae_conservative_edp\": %.6e, \"dae_minmax_edp\": %.6e, "
+        "\"dae_oracle_edp\": %.6e, "
+        "\"cae_ondemand_norm\": %.4f, \"cae_conservative_norm\": %.4f, "
+        "\"dae_minmax_norm\": %.4f, \"dae_oracle_norm\": %.4f, "
+        "\"makespan_ns\": %.1f, \"queue_ns\": %.1f, \"dram_misses\": %llu}",
+        Ways, MixNames.c_str(), R.CaeMax.EdpJs, R.CaeOndemand.EdpJs,
+        R.CaeConservative.EdpJs, R.DaeMinMax.EdpJs, R.DaeOracle.EdpJs,
+        Norm(R.CaeOndemand.EdpJs), Norm(R.CaeConservative.EdpJs),
+        Norm(R.DaeMinMax.EdpJs), Norm(R.DaeOracle.EdpJs),
+        R.DaeOracle.MakespanNs, QueueNs,
+        static_cast<unsigned long long>(DramMisses));
+    ContentionEntries.push_back(Buf);
+  }
+
   double seconds() const {
     return std::chrono::duration<double>(End - Start).count();
   }
@@ -369,6 +549,12 @@ private:
       DaeVerify += DaeVerifyEntries[I];
     }
     DaeVerify += "]";
+    std::string Contention = "[";
+    for (size_t I = 0; I != ContentionEntries.size(); ++I) {
+      Contention += I ? ", " : "";
+      Contention += ContentionEntries[I];
+    }
+    Contention += "]";
     std::string Path = "BENCH_" + Name + ".json";
     if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
       std::fprintf(F,
@@ -391,6 +577,7 @@ private:
                    "  \"replay_overlap\": {\"enabled\": %s, "
                    "\"wall_seconds\": %.6f, "
                    "\"no_overlap_wall_seconds\": %.6f, \"speedup\": %.3f},\n"
+                   "  \"contention\": %s,\n"
                    "  \"failures\": %u,\n"
                    "  \"status\": \"%s\"\n"
                    "}\n",
@@ -403,7 +590,7 @@ private:
                    sim::TracePool::global().peakBytes(),
                    ReplayOverlap ? "true" : "false", Seconds,
                    NoOverlapSeconds > 0.0 ? NoOverlapSeconds : -1.0,
-                   OverlapSpeedup, Failures, Status);
+                   OverlapSpeedup, Contention.c_str(), Failures, Status);
       std::fclose(F);
     }
   }
@@ -419,6 +606,7 @@ private:
   double FunctionalSeconds = 0.0;
   std::uint64_t Instructions = 0;
   std::vector<std::string> DaeVerifyEntries;
+  std::vector<std::string> ContentionEntries;
   std::chrono::steady_clock::time_point Start, End;
 };
 

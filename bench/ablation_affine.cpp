@@ -36,13 +36,11 @@ struct Variant {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  workloads::Scale S = scaleFromArgs(Argc, Argv);
-  sim::MachineConfig Cfg;
-  Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
-  Cfg.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
-  Cfg.Backend = backendFromArgs(Argc, Argv);
-  unsigned Jobs = jobsFromArgs(Argc, Argv);
-  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
+  BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  workloads::Scale S = Opts.Scale;
+  sim::MachineConfig Cfg = Opts.machineConfig();
+  unsigned Jobs = Opts.Jobs;
+  const bool PassStats = Opts.PassStats;
 
   DaeOptions Base; // Paper defaults.
   DaeOptions Range = Base;

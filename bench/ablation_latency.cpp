@@ -26,13 +26,11 @@ using namespace dae::bench;
 using namespace dae::harness;
 
 int main(int Argc, char **Argv) {
-  workloads::Scale S = scaleFromArgs(Argc, Argv);
-  sim::MachineConfig Cfg;
-  Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
-  Cfg.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
-  Cfg.Backend = backendFromArgs(Argc, Argv);
-  unsigned Jobs = jobsFromArgs(Argc, Argv);
-  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
+  BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  workloads::Scale S = Opts.Scale;
+  sim::MachineConfig Cfg = Opts.machineConfig();
+  unsigned Jobs = Opts.Jobs;
+  const bool PassStats = Opts.PassStats;
 
   auto Workloads = workloads::buildAll(S);
   std::vector<SuiteItem> Items;

@@ -65,19 +65,14 @@ void printPanel(const char *Title, const std::vector<Fig3Row> &Rows,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  workloads::Scale S = scaleFromArgs(Argc, Argv);
-  sim::MachineConfig Cfg;
-  Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
-  Cfg.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
-  Cfg.Backend = backendFromArgs(Argc, Argv);
-  unsigned Jobs = jobsFromArgs(Argc, Argv);
-  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
-  const bool DaeVerify = daeVerifyFromArgs(Argc, Argv);
-  bool NoBaseline = false;
-  for (int I = 1; I < Argc; ++I)
-    if (std::strcmp(Argv[I], "--no-baseline") == 0)
-      NoBaseline = true;
-  const bool MeasureBaseline = Jobs > 1 && !NoBaseline;
+  BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  workloads::Scale S = Opts.Scale;
+  sim::MachineConfig Cfg = Opts.machineConfig();
+  unsigned Jobs = Opts.Jobs;
+  const bool PassStats = Opts.PassStats;
+  const bool DaeVerify = Opts.DaeVerify;
+  const bool NoBaseline = Opts.NoBaseline;
+  const bool MeasureBaseline = Opts.measureBaseline();
 
   std::printf("Figure 3: DAE vs regular task execution "
               "(quad-core, 500 ns DVFS transitions)\n");

@@ -51,13 +51,11 @@ void printSeries(const char *App, const char *SchemeName,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  workloads::Scale S = scaleFromArgs(Argc, Argv);
-  sim::MachineConfig Cfg;
-  Cfg.SimThreads = simThreadsFromArgs(Argc, Argv);
-  Cfg.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
-  Cfg.Backend = backendFromArgs(Argc, Argv);
-  unsigned Jobs = jobsFromArgs(Argc, Argv);
-  const bool PassStats = pipelineFlagsFromArgs(Argc, Argv);
+  BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  workloads::Scale S = Opts.Scale;
+  sim::MachineConfig Cfg = Opts.machineConfig();
+  unsigned Jobs = Opts.Jobs;
+  const bool PassStats = Opts.PassStats;
 
   std::printf("Figure 4: per-frequency runtime & energy profiles "
               "(access at fmin; execute swept fmin->fmax; 500 ns "
@@ -75,7 +73,7 @@ int main(int Argc, char **Argv) {
   SC.Jobs = Jobs;
   SC.SimThreads = Cfg.SimThreads;
   SC.Memo = &Memo;
-  SC.DaeVerify = daeVerifyFromArgs(Argc, Argv);
+  SC.DaeVerify = Opts.DaeVerify;
 
   ThroughputReporter Throughput("fig4_profiles", Cfg.SimThreads, Jobs);
   Throughput.setReplayOverlap(Cfg.ReplayOverlap);

@@ -21,6 +21,7 @@
 #include <cassert>
 #include <memory>
 #include <set>
+#include <stdexcept>
 
 using namespace dae;
 using namespace dae::harness;
@@ -45,14 +46,17 @@ std::vector<std::uint8_t> snapshotOutputs(const Workload &W, Memory &Mem,
   return Bytes;
 }
 
-/// Runs one scheme (fresh memory + init) and snapshots the outputs.
+/// Runs one scheme (fresh memory + init) and snapshots the outputs. When
+/// \p Traces is non-null the run's traces are retained for a later
+/// contention-timeline interleave.
 RunProfile runScheme(const Workload &W, const std::vector<Task> &Tasks,
                      const MachineConfig &Cfg, const Loader &L,
-                     std::vector<std::uint8_t> &OutBytes) {
+                     std::vector<std::uint8_t> &OutBytes,
+                     RunTraces *Traces = nullptr) {
   Memory Mem;
   W.Init(Mem, L);
   TaskRuntime RT(Cfg, Mem, L);
-  RunProfile P = RT.execute(Tasks);
+  RunProfile P = RT.execute(Tasks, /*RunAccess=*/true, nullptr, Traces);
   OutBytes = snapshotOutputs(W, Mem, L);
   return P;
 }
@@ -248,6 +252,87 @@ std::vector<AppResult> harness::runSuite(const std::vector<SuiteItem> &Items,
     Results.push_back(std::move(R));
   }
   return Results;
+}
+
+MixResult harness::runMix(const std::vector<Workload *> &Mix,
+                          const MachineConfig &Cfg, const MixConfig &MC) {
+  if (Mix.empty() || Mix.size() > Cfg.NumCores)
+    throw std::invalid_argument("mix size must be in [1, NumCores]");
+
+  unsigned Requested =
+      MC.SimThreads ? MC.SimThreads : std::max(1u, Cfg.SimThreads);
+  JobPool Pool(MC.Jobs, Requested);
+  // Solo runs are single-core: each stream is one program pinned to one
+  // timeline core, so its tasks execute sequentially and its retained traces
+  // are already in that core's execution order.
+  MachineConfig SoloCfg = Cfg;
+  SoloCfg.NumCores = 1;
+  SoloCfg.SimThreads = Pool.simThreadsPerJob();
+
+  struct StreamSlot {
+    PreparedApp P;
+    RunProfile CaeProfile, DaeProfile;
+    RunTraces CaeTraces, DaeTraces;
+    std::vector<std::uint8_t> CaeOut, DaeOut;
+    DaeVerifyResult Verify;
+  };
+  std::vector<StreamSlot> Slots(Mix.size());
+
+  // One preparation job per stream, fanning out the two traced scheme runs
+  // (and, under DaeVerify, the per-stream differential oracle) as further
+  // jobs — the same shape as runSuite.
+  for (size_t I = 0; I != Mix.size(); ++I) {
+    Pool.submit([&Pool, &Slots, &Mix, &SoloCfg, &MC, I] {
+      StreamSlot &S = Slots[I];
+      S.P = prepareApp(*Mix[I], nullptr, MC.Memo);
+      Pool.submit([&S, &SoloCfg] {
+        S.CaeProfile = runScheme(*S.P.W, S.P.SchemeTasks[0], SoloCfg, *S.P.L,
+                                 S.CaeOut, &S.CaeTraces);
+      });
+      Pool.submit([&S, &SoloCfg] {
+        S.DaeProfile = runScheme(*S.P.W, S.P.SchemeTasks[2], SoloCfg, *S.P.L,
+                                 S.DaeOut, &S.DaeTraces);
+      });
+      if (MC.DaeVerify)
+        Pool.submit([&S, &SoloCfg] {
+          S.Verify =
+              verifyScheme(*S.P.W, S.P.SchemeTasks[2], SoloCfg, *S.P.L);
+        });
+    });
+  }
+  Pool.wait();
+
+  MixResult R;
+  std::vector<CoreStream> CaeStreams, DaeStreams;
+  for (size_t I = 0; I != Mix.size(); ++I) {
+    StreamSlot &S = Slots[I];
+    MixStreamResult MS;
+    MS.Name = S.P.W->Name;
+    MS.OutputsMatch = S.CaeOut == S.DaeOut;
+    MS.Verify = std::move(S.Verify);
+    R.Streams.push_back(std::move(MS));
+    // Co-runners are distinct address spaces: bias each stream far above any
+    // footprint so they never falsely alias in the shared LLC (the bias
+    // stays well inside the trace encoding's 62-bit address space).
+    std::uint64_t Bias = static_cast<std::uint64_t>(I) << 40;
+    CaeStreams.push_back({&S.CaeProfile, &S.CaeTraces, Bias});
+    DaeStreams.push_back({&S.DaeProfile, &S.DaeTraces, Bias});
+  }
+
+  auto Price = [&](const std::vector<CoreStream> &Streams,
+                   runtime::TimelinePolicy P) {
+    runtime::TimelineConfig TC;
+    TC.Policy = P;
+    TC.TransitionNs = MC.TransitionNs;
+    TC.Governor = MC.Governor;
+    return interleaveTimeline(Streams, Cfg, TC);
+  };
+  R.CaeMax = Price(CaeStreams, runtime::TimelinePolicy::FixedMax);
+  R.CaeOndemand = Price(CaeStreams, runtime::TimelinePolicy::Ondemand);
+  R.CaeConservative = Price(CaeStreams, runtime::TimelinePolicy::Conservative);
+  R.DaeMinMax = Price(DaeStreams, runtime::TimelinePolicy::DaeMinMax);
+  R.DaeOracle = Price(DaeStreams, runtime::TimelinePolicy::OracleEdp);
+  return R;
 }
 
 runtime::RunReport harness::priceCaeMax(const AppResult &R,

@@ -21,6 +21,7 @@
 #include "dae/AccessGenerator.h"
 #include "runtime/Evaluator.h"
 #include "runtime/Runtime.h"
+#include "runtime/Timeline.h"
 #include "verify/DifferentialChecker.h"
 #include "workloads/Workload.h"
 
@@ -143,6 +144,51 @@ struct SuiteConfig {
 std::vector<AppResult> runSuite(const std::vector<SuiteItem> &Items,
                                 const sim::MachineConfig &Cfg,
                                 const SuiteConfig &SC);
+
+/// One co-runner's outcome within a mix.
+struct MixStreamResult {
+  std::string Name;
+  /// True when the stream's CAE and Auto DAE solo runs produced identical
+  /// outputs (the DAE access phase must be a pure prefetch per core).
+  bool OutputsMatch = false;
+  /// Per-stream correctness oracle (under MixConfig::DaeVerify): the
+  /// differential checker runs once per core's workload.
+  DaeVerifyResult Verify;
+};
+
+/// A co-scheduled workload mix priced on the contention timeline under the
+/// paper's policy and the reactive-governor baselines. CAE-based policies
+/// interleave the coupled traces, DAE-based ones the Auto DAE traces — the
+/// same stream set, so EDP ratios isolate the policy.
+struct MixResult {
+  std::vector<MixStreamResult> Streams;
+  runtime::TimelineReport CaeMax;          ///< Performance governor base.
+  runtime::TimelineReport CaeOndemand;     ///< Reactive ondemand baseline.
+  runtime::TimelineReport CaeConservative; ///< Reactive conservative baseline.
+  runtime::TimelineReport DaeMinMax;       ///< DAE naive min/max split.
+  runtime::TimelineReport DaeOracle;       ///< DAE per-phase EDP oracle.
+};
+
+/// Mix execution parameters (see SuiteConfig for the shared fields).
+struct MixConfig {
+  unsigned Jobs = 1;
+  unsigned SimThreads = 1;
+  GenerationMemo *Memo = nullptr;
+  /// Run the differential checker per stream (per core's workload).
+  bool DaeVerify = false;
+  /// Overrides MachineConfig::DvfsTransitionNs when >= 0.
+  double TransitionNs = -1.0;
+  runtime::GovernorParams Governor;
+};
+
+/// Runs \p Mix co-scheduled, one workload per core (Mix.size() must be in
+/// [1, Cfg.NumCores]): each stream's solo CAE and Auto DAE runs execute on a
+/// JobPool with retained traces (NumCores=1, so per-stream profiles are
+/// sequential), then the retained traces are interleaved on the shared-LLC /
+/// bandwidth-throttled timeline once per policy. Results are bit-identical
+/// for every (Jobs, SimThreads) combination (MultiCoreDeterminismTest).
+MixResult runMix(const std::vector<workloads::Workload *> &Mix,
+                 const sim::MachineConfig &Cfg, const MixConfig &MC);
 
 /// Prices the Figure 3 configurations from \p R at \p TransitionNs.
 Fig3Row priceFig3(const AppResult &R, const sim::MachineConfig &Cfg,

@@ -14,20 +14,19 @@ using namespace dae;
 using namespace dae::runtime;
 using namespace dae::sim;
 
-namespace {
-
-/// Ladder frequency minimizing the local EDP of one phase: EDP_phase =
-/// t(f)^2 * P(f) = t(f) * E(f). Exact EDP ties break toward the *lower*
-/// frequency (the cheaper operating point), independent of the order the
-/// ladder happens to be listed in — a first-match scan would silently pick
-/// whichever tied frequency appeared first.
-double bestEdpFrequency(const PhaseStats &S, const MachineConfig &Cfg,
-                        const PowerModel &PM) {
-  double BestF = Cfg.fmax();
+// Exact EDP ties break toward the *lower* frequency (the cheaper operating
+// point), independent of the order the ladder happens to be listed in — a
+// first-match scan would silently pick whichever tied frequency appeared
+// first. On a homogeneous machine (empty CoreLadders) every core's ladder
+// and voltage curve equal the machine-wide ones, so results are bit-exact
+// with the pre-heterogeneous implementation.
+double runtime::bestEdpFrequency(const PhaseStats &S, const MachineConfig &Cfg,
+                                 const PowerModel &PM, unsigned Core) {
+  double BestF = Cfg.fmaxOf(Core);
   double BestEdp = -1.0;
-  for (double F : Cfg.FrequenciesGHz) {
+  for (double F : Cfg.ladder(Core)) {
     double T = S.timeNs(F) * 1e-9;
-    double Edp = T * PM.phaseEnergy(S, F);
+    double Edp = T * PM.phaseEnergy(Core, S, F);
     if (BestEdp < 0.0 || Edp < BestEdp || (Edp == BestEdp && F < BestF)) {
       BestEdp = Edp;
       BestF = F;
@@ -35,8 +34,6 @@ double bestEdpFrequency(const PhaseStats &S, const MachineConfig &Cfg,
   }
   return BestF;
 }
-
-} // namespace
 
 RunReport runtime::evaluate(const RunProfile &Profile,
                             const MachineConfig &Cfg,
@@ -47,6 +44,15 @@ RunReport runtime::evaluate(const RunProfile &Profile,
 
   RunReport R;
   R.NumTasks = Profile.Tasks.size();
+
+  const bool IsGovernor = Eval.Policy == FreqPolicy::Ondemand ||
+                          Eval.Policy == FreqPolicy::Conservative;
+  std::vector<GovernorState> Governors;
+  if (IsGovernor)
+    for (unsigned C = 0; C != Profile.NumCores; ++C)
+      Governors.emplace_back(Cfg, C,
+                             Eval.Policy == FreqPolicy::Conservative,
+                             Eval.Governor);
 
   std::vector<double> CoreBusyNs(Profile.NumCores, 0.0);
   std::vector<double> CoreEnergyJ(Profile.NumCores, 0.0);
@@ -64,15 +70,17 @@ RunReport runtime::evaluate(const RunProfile &Profile,
       if (TransNs > 0.0) {
         CoreBusyNs[Core] += TransNs;
         CoreEnergyJ[Core] +=
-            PM.staticPowerPerCore(FreqGHz) * TransNs * 1e-9;
+            PM.staticPowerPerCore(Core, FreqGHz) * TransNs * 1e-9;
         R.OsiTimeSec += TransNs * 1e-9;
       }
       CoreFreq[Core] = FreqGHz;
     }
     double TNs = S.timeNs(FreqGHz);
     CoreBusyNs[Core] += TNs;
-    CoreEnergyJ[Core] += PM.phaseEnergy(S, FreqGHz);
+    CoreEnergyJ[Core] += PM.phaseEnergy(Core, S, FreqGHz);
     (IsAccess ? R.AccessTimeSec : R.ExecuteTimeSec) += TNs * 1e-9;
+    if (IsGovernor)
+      Governors[Core].account(S.ComputeCycles / FreqGHz, TNs);
   };
 
   double IdleEnergyJ = 0.0;
@@ -98,19 +106,21 @@ RunReport runtime::evaluate(const RunProfile &Profile,
       double Before = CoreBusyNs[Core];
       if (T.HasAccess) {
         double FA = Eval.Policy == FreqPolicy::OptimalEdp
-                        ? bestEdpFrequency(T.Access, Cfg, PM)
-                        : Eval.AccessFreqGHz;
+                        ? bestEdpFrequency(T.Access, Cfg, PM, Core)
+                        : IsGovernor ? Governors[Core].frequency()
+                                     : Eval.AccessFreqGHz;
         RunPhase(Core, T.Access, FA, /*IsAccess=*/true);
       }
       double FE = Eval.Policy == FreqPolicy::OptimalEdp
-                      ? bestEdpFrequency(T.Execute, Cfg, PM)
-                      : Eval.ExecFreqGHz;
+                      ? bestEdpFrequency(T.Execute, Cfg, PM, Core)
+                      : IsGovernor ? Governors[Core].frequency()
+                                   : Eval.ExecFreqGHz;
       RunPhase(Core, T.Execute, FE, /*IsAccess=*/false);
 
       // Runtime bookkeeping (dequeue/hand-off) at the execute frequency.
       double OverheadNs = Profile.PerTaskOverheadCycles / FE;
       CoreBusyNs[Core] += OverheadNs;
-      CoreEnergyJ[Core] += PM.phaseEnergy(Overhead, FE);
+      CoreEnergyJ[Core] += PM.phaseEnergy(Core, Overhead, FE);
       R.OsiTimeSec += OverheadNs * 1e-9;
       WaveBusyNs[Core] += CoreBusyNs[Core] - Before;
     }
@@ -120,9 +130,12 @@ RunReport runtime::evaluate(const RunProfile &Profile,
       WaveEndNs = std::max(WaveEndNs, Busy);
     for (unsigned C = 0; C != Profile.NumCores; ++C) {
       double IdleNs = WaveEndNs - CoreBusyNs[C];
-      IdleEnergyJ += PM.sleepPowerPerCore() * IdleNs * 1e-9;
+      IdleEnergyJ += PM.sleepPowerPerCore(C) * IdleNs * 1e-9;
       R.OsiTimeSec += IdleNs * 1e-9;
       CoreBusyNs[C] = WaveEndNs;
+      // Barrier idle reads as 0% utilization to a reactive governor.
+      if (IsGovernor && IdleNs > 0.0)
+        Governors[C].account(0.0, IdleNs);
     }
     MakespanNs = WaveEndNs;
   }

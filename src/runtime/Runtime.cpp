@@ -35,7 +35,7 @@
 #include "runtime/Runtime.h"
 
 #include "ir/Function.h"
-#include "runtime/Replay.h"
+#include "runtime/ReplayEngine.h"
 #include "sim/AccessTrace.h"
 #include "sim/Interpreter.h"
 
@@ -44,7 +44,6 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -155,111 +154,6 @@ private:
   unsigned Active = 0;
 };
 
-/// One task's functional-pass output, waiting for its timing replay.
-struct WaveResult {
-  bool HasAccess = false;
-  PhaseStats Access, Execute;
-  AccessTrace AccessTr, ExecTr;
-};
-
-/// The timing half of the engine: greedy schedule + trace replay. All state
-/// that the replay mutates — cache hierarchy, per-core clocks, the profile's
-/// task order, the oracle capture — lives here and is only ever touched by
-/// one thread at a time: the caller when replay is inline, the dedicated
-/// replay thread when the wave pipeline is active.
-class ReplayEngine {
-public:
-  ReplayEngine(const MachineConfig &Cfg, unsigned NumCores,
-               RunProfile &Profile, RunCapture *Capture, const Task *TaskBase)
-      : Cfg(Cfg), Costs(Cfg), Caches(Cfg, NumCores), Profile(Profile),
-        Capture(Capture), TaskBase(TaskBase),
-        LineShift(lineShiftOf(Cfg.L1.LineBytes)),
-        CoreTimeNs(NumCores, 0.0) {}
-
-  /// Replays one completed wave: the exact greedy min-time /
-  /// steal-from-longest-queue schedule picks tasks, and each chosen task's
-  /// traces stream through the caches in schedule order. Waves must be
-  /// replayed in ascending order.
-  void replayWave(unsigned WaveId, const std::vector<const Task *> &WaveTasks,
-                  std::vector<WaveResult> &Results) {
-    const unsigned NumCores = static_cast<unsigned>(CoreTimeNs.size());
-    std::vector<std::deque<std::size_t>> Queues(NumCores);
-    for (std::size_t I = 0; I != WaveTasks.size(); ++I)
-      Queues[I % NumCores].push_back(I);
-
-    std::size_t Remaining = WaveTasks.size();
-    while (Remaining > 0) {
-      // The core with the smallest simulated time runs next. Ordering uses
-      // fmax; the evaluator reprices per policy afterwards.
-      unsigned Core = 0;
-      for (unsigned C = 1; C != NumCores; ++C)
-        if (CoreTimeNs[C] < CoreTimeNs[Core])
-          Core = C;
-
-      std::size_t Chosen;
-      if (!Queues[Core].empty()) {
-        Chosen = Queues[Core].front();
-        Queues[Core].pop_front();
-      } else {
-        unsigned Victim = NumCores;
-        for (unsigned C = 0; C != NumCores; ++C)
-          if (!Queues[C].empty() &&
-              (Victim == NumCores ||
-               Queues[C].size() > Queues[Victim].size()))
-            Victim = C;
-        if (Victim == NumCores)
-          break;
-        Chosen = Queues[Victim].back();
-        Queues[Victim].pop_back();
-      }
-
-      WaveResult &R = Results[Chosen];
-      TaskCapture *Cap = nullptr;
-      if (Capture) {
-        // Original task index: WaveTasks holds pointers into Tasks.
-        Cap = &Capture->Tasks[WaveTasks[Chosen] - TaskBase];
-      }
-      TaskProfile TP;
-      TP.Core = Core;
-      TP.Wave = WaveId;
-      if (R.HasAccess) {
-        TP.HasAccess = true;
-        TP.Access = R.Access;
-        if (Cap)
-          Cap->HasAccess = true;
-        replayTrace(R.AccessTr, Caches, Core, Costs, TP.Access,
-                    Cap ? &Cap->Access : nullptr, LineShift);
-        R.AccessTr.releaseTo(TracePool::global());
-      }
-      TP.Execute = R.Execute;
-      replayTrace(R.ExecTr, Caches, Core, Costs, TP.Execute,
-                  Cap ? &Cap->Execute : nullptr, LineShift);
-      R.ExecTr.releaseTo(TracePool::global());
-
-      CoreTimeNs[Core] += TP.Access.timeNs(Cfg.fmax()) +
-                          TP.Execute.timeNs(Cfg.fmax()) +
-                          Profile.PerTaskOverheadCycles / Cfg.fmax();
-      Profile.Tasks.push_back(std::move(TP));
-      --Remaining;
-    }
-
-    // Barrier: every core advances to the wave's completion time.
-    double WaveEnd = *std::max_element(CoreTimeNs.begin(), CoreTimeNs.end());
-    for (double &T : CoreTimeNs)
-      T = WaveEnd;
-  }
-
-private:
-  const MachineConfig &Cfg;
-  ReplayCostModel Costs;
-  CacheHierarchy Caches;
-  RunProfile &Profile;
-  RunCapture *Capture;
-  const Task *TaskBase;
-  unsigned LineShift;
-  std::vector<double> CoreTimeNs;
-};
-
 } // namespace
 
 TaskRuntime::TaskRuntime(const MachineConfig &Cfg, Memory &Mem,
@@ -267,7 +161,7 @@ TaskRuntime::TaskRuntime(const MachineConfig &Cfg, Memory &Mem,
     : Cfg(Cfg), Mem(Mem), Loader(L) {}
 
 RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
-                                RunCapture *Capture) {
+                                RunCapture *Capture, RunTraces *Traces) {
   const unsigned NumCores = Cfg.NumCores;
 
   if (Capture) {
@@ -303,7 +197,7 @@ RunProfile TaskRuntime::execute(const std::vector<Task> &Tasks, bool RunAccess,
   for (const Task &T : Tasks)
     Waves[T.Wave].push_back(&T);
 
-  ReplayEngine Replay(Cfg, NumCores, Profile, Capture, Tasks.data());
+  ReplayEngine Replay(Cfg, NumCores, Profile, Capture, Tasks.data(), Traces);
 
   // Functional pass of one wave into \p Results, in parallel across the
   // pool: compute values and record access traces for every task. Wall-clock

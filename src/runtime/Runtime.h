@@ -71,6 +71,29 @@ struct RunCapture {
   std::vector<TaskCapture> Tasks;
 };
 
+/// One task's retained traces and functional-pass stats, kept past the
+/// run's own timing replay so a multi-core timeline (runtime/Timeline.h) can
+/// re-replay them against a *shared* hierarchy later. Functional stats are
+/// the pre-replay profile of each phase — instruction counts and
+/// interpreter-charged compute cycles, before any cache hit cycles or memory
+/// stalls — i.e. exactly the frequency-scalable work the timeline spreads
+/// across the phase's trace events.
+struct TaskTraces {
+  bool HasAccess = false;
+  sim::AccessTrace Access, Execute;
+  sim::PhaseStats FunctionalAccess, FunctionalExecute;
+};
+
+/// Whole-run trace retention, requested via execute()'s Traces out-param.
+/// Purely observational: the replay consumes each trace exactly as without
+/// retention, it just moves the buffer here instead of recycling it to the
+/// TracePool (so co-run mixes multiply live trace memory — see
+/// DAECC_TRACE_POOL_MB). Entries are in replay schedule order, index-aligned
+/// with the returned RunProfile::Tasks.
+struct RunTraces {
+  std::vector<TaskTraces> Tasks;
+};
+
 /// Executes task sets over the simulated machine.
 class TaskRuntime {
 public:
@@ -84,8 +107,12 @@ public:
   /// the same binaries). Returns the per-task profiles. When \p Capture is
   /// non-null it is filled with one TaskCapture per input task (original
   /// order), recording the cache lines each phase touched and demand-missed.
+  /// When \p Traces is non-null, every task's traces and functional stats
+  /// are retained there (replay order) instead of being recycled — the
+  /// input a multi-core contention timeline interleaves later.
   RunProfile execute(const std::vector<Task> &Tasks, bool RunAccess = true,
-                     RunCapture *Capture = nullptr);
+                     RunCapture *Capture = nullptr,
+                     RunTraces *Traces = nullptr);
 
 private:
   const sim::MachineConfig &Cfg;

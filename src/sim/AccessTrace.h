@@ -21,6 +21,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <vector>
 
@@ -54,10 +56,40 @@ public:
       : MaxPooled(MaxPooled), MaxBufferBytes(MaxBufferBytes),
         MaxTotalBytes(MaxTotalBytes) {}
 
+  /// Total retained-bytes cap from DAECC_TRACE_POOL_MB (MiB), or
+  /// DefaultMaxTotalBytes when unset. 8-way co-scheduled mixes keep one live
+  /// trace set per core, so the default 64 MiB free-list can be too small to
+  /// absorb their recycle traffic (or too large for a constrained host) —
+  /// the cap is an environment knob rather than a rebuild. A value that is
+  /// not a positive integer is a hard configuration error (exit 2), never a
+  /// silent fall-back to the default: a sweep sized against a cap that was
+  /// silently ignored would thrash (or OOM) unexplained.
+  static std::size_t maxTotalBytesFromEnv() {
+    const char *Env = std::getenv("DAECC_TRACE_POOL_MB");
+    if (!Env)
+      return DefaultMaxTotalBytes;
+    char *End = nullptr;
+    long Mb = std::strtol(Env, &End, 10);
+    if (End == Env || *End != '\0' || Mb <= 0) {
+      std::fprintf(stderr,
+                   "error: invalid DAECC_TRACE_POOL_MB value '%s' (expected "
+                   "a positive integer number of MiB)\n",
+                   Env);
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(Mb) << 20;
+  }
+
   /// Process-wide pool (suite jobs in one process share one allocator
-  /// anyway, so they share one free-list too).
+  /// anyway, so they share one free-list too). Sized by DAECC_TRACE_POOL_MB
+  /// when set; the per-buffer cap scales with the total (total/8, floored at
+  /// the default) so one outlier trace still cannot pin the whole budget.
   static TracePool &global() {
-    static TracePool Pool;
+    static TracePool Pool = [] {
+      std::size_t Total = maxTotalBytesFromEnv();
+      std::size_t PerBuffer = std::max(Total / 8, DefaultMaxBufferBytes);
+      return TracePool(DefaultMaxPooled, PerBuffer, Total);
+    }();
     return Pool;
   }
 

@@ -124,6 +124,38 @@ private:
   std::size_t LastWay = 0;
 };
 
+/// Shared DRAM channel bandwidth queue for the multi-core timeline: every
+/// LLC miss occupies the channel for LineBytes / BandwidthGBs ns, so
+/// concurrent misses from different cores serialize and the latecomer pays a
+/// queuing delay on top of its DRAM latency. Purely deterministic: state is
+/// one next-free timestamp, advanced in the global-time order the timeline
+/// replays events in. BandwidthGBs <= 0 disables the queue (the
+/// single-workload engine's infinite-bandwidth model).
+class DramChannel {
+public:
+  DramChannel(double BandwidthGBs, unsigned LineBytes)
+      : OccupancyNs(BandwidthGBs > 0.0
+                        ? static_cast<double>(LineBytes) / BandwidthGBs
+                        : 0.0) {}
+
+  /// Books a line transfer issued at \p NowNs; returns the queuing delay
+  /// (ns) the requester waits before its DRAM latency starts.
+  double requestLine(double NowNs) {
+    if (OccupancyNs == 0.0)
+      return 0.0;
+    double Start = NowNs > NextFreeNs ? NowNs : NextFreeNs;
+    NextFreeNs = Start + OccupancyNs;
+    return Start - NowNs;
+  }
+
+  /// Channel time (ns) one line transfer occupies; 0 when unmodeled.
+  double occupancyNs() const { return OccupancyNs; }
+
+private:
+  double OccupancyNs;
+  double NextFreeNs = 0.0;
+};
+
 /// Per-core L1/L2 over a shared LLC.
 class CacheHierarchy {
 public:

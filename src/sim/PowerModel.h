@@ -62,6 +62,36 @@ public:
            TimeS;
   }
 
+  /// \name Core-aware overloads for heterogeneous (per-core-ladder) machines
+  /// Identical formulas, but the voltage comes from \p Core's own ladder via
+  /// MachineConfig::voltageAt(Core, f) — a little core running 0.8 GHz must
+  /// be priced at its own low rail, not clamped up to the big ladder's fmin.
+  /// On a homogeneous machine every overload reduces exactly to the
+  /// single-ladder form above.
+  /// @{
+  double dynamicPower(unsigned Core, double FreqGHz, double Ipc) const {
+    double Ceff = 0.19 * Ipc + 1.64; // nF
+    double V = Cfg.voltageAt(Core, FreqGHz);
+    return Ceff * FreqGHz * V * V;
+  }
+
+  double staticPowerPerCore(unsigned Core, double FreqGHz) const {
+    double V = Cfg.voltageAt(Core, FreqGHz);
+    return StaticV * V + StaticVF * V * FreqGHz;
+  }
+
+  double sleepPowerPerCore(unsigned Core) const {
+    return SleepFraction * staticPowerPerCore(Core, Cfg.fminOf(Core));
+  }
+
+  double phaseEnergy(unsigned Core, const PhaseStats &S, double FreqGHz) const {
+    double TimeS = S.timeNs(FreqGHz) * 1e-9;
+    return (dynamicPower(Core, FreqGHz, S.ipc(FreqGHz)) +
+            staticPowerPerCore(Core, FreqGHz)) *
+           TimeS;
+  }
+  /// @}
+
 private:
   const MachineConfig &Cfg;
   // Static model constants (fit to a Sandybridge-like ~5-15 W static range).

@@ -17,6 +17,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <vector>
 
 using namespace dae;
 using namespace dae::bench;
@@ -78,6 +81,110 @@ TEST(BenchUtilDeathTest, UnknownBackendEnvIsAHardError) {
       },
       ::testing::ExitedWithCode(2), "unknown DAECC_SIM_BACKEND value 'turbo'");
   unsetenv("DAECC_SIM_BACKEND");
+}
+
+// --- BenchOptions: the drivers' unified flag surface ----------------------
+
+BenchOptions parseOpts(std::initializer_list<const char *> Flags) {
+  std::vector<std::string> Storage = {"bench"};
+  for (const char *F : Flags)
+    Storage.push_back(F);
+  std::vector<char *> Argv;
+  for (std::string &S : Storage)
+    Argv.push_back(S.data());
+  return BenchOptions::parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+TEST(BenchOptions, DefaultsMatchTheOldPerDriverParsing) {
+  unsetenv("DAECC_SIM_BACKEND");
+  unsetenv("DAECC_REPLAY_OVERLAP");
+  unsetenv("DAECC_DAE_VERIFY");
+  BenchOptions O = parseOpts({});
+  EXPECT_EQ(O.Scale, workloads::Scale::Full);
+  EXPECT_EQ(O.SimThreads, 1u);
+  EXPECT_EQ(O.Jobs, 1u);
+  EXPECT_TRUE(O.ReplayOverlap);
+  EXPECT_FALSE(O.PassStats);
+  EXPECT_FALSE(O.DaeVerify);
+  EXPECT_FALSE(O.NoBaseline);
+  EXPECT_EQ(O.Cores, 0u);
+  EXPECT_EQ(O.BigCores + O.LittleCores, 0u);
+  EXPECT_TRUE(O.Mix.empty());
+  EXPECT_EQ(O.Governor, "both");
+
+  sim::MachineConfig Cfg = O.machineConfig();
+  sim::MachineConfig Ref;
+  EXPECT_EQ(Cfg.NumCores, Ref.NumCores);
+  EXPECT_TRUE(Cfg.CoreLadders.empty());
+  EXPECT_FALSE(O.measureBaseline()) << "jobs=1 has nothing to compare";
+}
+
+TEST(BenchOptions, ParsesTheNewFlags) {
+  BenchOptions O = parseOpts({"--test-scale", "--jobs=3", "--sim-threads=2",
+                              "--cores=8", "--mix=libq,cigar,fft",
+                              "--governor=ondemand", "--no-baseline",
+                              "--dae-verify"});
+  EXPECT_EQ(O.Scale, workloads::Scale::Test);
+  EXPECT_EQ(O.Jobs, 3u);
+  EXPECT_EQ(O.SimThreads, 2u);
+  EXPECT_EQ(O.Cores, 8u);
+  ASSERT_EQ(O.Mix.size(), 3u);
+  EXPECT_EQ(O.Mix[0], "libq");
+  EXPECT_EQ(O.Mix[1], "cigar");
+  EXPECT_EQ(O.Mix[2], "fft");
+  EXPECT_EQ(O.Governor, "ondemand");
+  EXPECT_TRUE(O.NoBaseline);
+  EXPECT_TRUE(O.DaeVerify);
+  EXPECT_FALSE(O.measureBaseline()) << "--no-baseline wins over jobs>1";
+  EXPECT_EQ(O.machineConfig().NumCores, 8u);
+}
+
+TEST(BenchOptions, BigLittleShapesTheMachine) {
+  BenchOptions O = parseOpts({"--big-little=2,2", "--cores=16"});
+  EXPECT_EQ(O.BigCores, 2u);
+  EXPECT_EQ(O.LittleCores, 2u);
+  sim::MachineConfig Cfg = O.machineConfig();
+  // --big-little overrides --cores and installs per-core ladders.
+  EXPECT_EQ(Cfg.NumCores, 4u);
+  ASSERT_EQ(Cfg.CoreLadders.size(), 4u);
+  EXPECT_EQ(Cfg.ladder(0), Cfg.FrequenciesGHz);
+  EXPECT_DOUBLE_EQ(Cfg.fmaxOf(3), 1.4);
+}
+
+TEST(BenchUtilDeathTest, GarbageCoresIsAHardError) {
+  EXPECT_EXIT(parseOpts({"--cores=many"}), ::testing::ExitedWithCode(2),
+              "invalid --cores value 'many'");
+  EXPECT_EXIT(parseOpts({"--cores=0"}), ::testing::ExitedWithCode(2),
+              "invalid --cores value '0'");
+  EXPECT_EXIT(parseOpts({"--cores=4x"}), ::testing::ExitedWithCode(2),
+              "invalid --cores value '4x'");
+}
+
+TEST(BenchUtilDeathTest, MalformedBigLittleIsAHardError) {
+  EXPECT_EXIT(parseOpts({"--big-little=4"}), ::testing::ExitedWithCode(2),
+              "invalid --big-little value '4'");
+  EXPECT_EXIT(parseOpts({"--big-little=4,"}), ::testing::ExitedWithCode(2),
+              "invalid --big-little value '4,'");
+  EXPECT_EXIT(parseOpts({"--big-little=,4"}), ::testing::ExitedWithCode(2),
+              "invalid --big-little value ',4'");
+  EXPECT_EXIT(parseOpts({"--big-little=a,b"}), ::testing::ExitedWithCode(2),
+              "invalid --big-little value 'a'");
+}
+
+TEST(BenchUtilDeathTest, MalformedMixIsAHardError) {
+  EXPECT_EXIT(parseOpts({"--mix="}), ::testing::ExitedWithCode(2),
+              "--mix requires at least one workload name");
+  EXPECT_EXIT(parseOpts({"--mix=libq,"}), ::testing::ExitedWithCode(2),
+              "trailing comma");
+  EXPECT_EXIT(parseOpts({"--mix=libq,,fft"}), ::testing::ExitedWithCode(2),
+              "empty workload name");
+}
+
+TEST(BenchUtilDeathTest, UnknownGovernorIsAHardError) {
+  EXPECT_EXIT(parseOpts({"--governor=powersave"}),
+              ::testing::ExitedWithCode(2),
+              "unknown --governor value 'powersave'.*'ondemand', "
+              "'conservative' or 'both'");
 }
 
 // The strict name mapping itself (shared by flag and env paths).
