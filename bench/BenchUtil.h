@@ -50,11 +50,17 @@ inline workloads::Scale scaleFromArgs(int Argc, char **Argv) {
 /// DAECC_SIM_THREADS=N). Defaults to 1, the sequential reference; any value
 /// produces bit-identical simulated results.
 inline unsigned simThreadsFromArgs(int Argc, char **Argv) {
+  // Repeated flags deterministically last-win (matching BenchOptions::parse),
+  // so a sweep script appending overrides to a base command behaves as
+  // expected instead of silently keeping the first value.
+  const char *Last = nullptr;
   for (int I = 1; I < Argc; ++I)
-    if (std::strncmp(Argv[I], "--sim-threads=", 14) == 0) {
-      long N = std::strtol(Argv[I] + 14, nullptr, 10);
-      return N > 0 ? static_cast<unsigned>(N) : 1u;
-    }
+    if (std::strncmp(Argv[I], "--sim-threads=", 14) == 0)
+      Last = Argv[I] + 14;
+  if (Last) {
+    long N = std::strtol(Last, nullptr, 10);
+    return N > 0 ? static_cast<unsigned>(N) : 1u;
+  }
   if (const char *Env = std::getenv("DAECC_SIM_THREADS")) {
     long N = std::strtol(Env, nullptr, 10);
     return N > 0 ? static_cast<unsigned>(N) : 1u;
@@ -67,11 +73,15 @@ inline unsigned simThreadsFromArgs(int Argc, char **Argv) {
 /// produces bit-identical simulated results (see harness/JobPool.h for how
 /// jobs and sim threads share the host budget).
 inline unsigned jobsFromArgs(int Argc, char **Argv) {
+  // Last occurrence wins (see simThreadsFromArgs).
+  const char *Last = nullptr;
   for (int I = 1; I < Argc; ++I)
-    if (std::strncmp(Argv[I], "--jobs=", 7) == 0) {
-      long N = std::strtol(Argv[I] + 7, nullptr, 10);
-      return N > 0 ? static_cast<unsigned>(N) : 1u;
-    }
+    if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
+      Last = Argv[I] + 7;
+  if (Last) {
+    long N = std::strtol(Last, nullptr, 10);
+    return N > 0 ? static_cast<unsigned>(N) : 1u;
+  }
   if (const char *Env = std::getenv("DAECC_JOBS")) {
     long N = std::strtol(Env, nullptr, 10);
     return N > 0 ? static_cast<unsigned>(N) : 1u;
@@ -88,18 +98,24 @@ inline unsigned jobsFromArgs(int Argc, char **Argv) {
 /// hard error (exit 2), never a silent fall-back — a sweep that thinks it
 /// measured one backend but ran another would produce wrong conclusions.
 inline sim::SimBackend backendFromArgs(int Argc, char **Argv) {
+  // Last occurrence wins (see simThreadsFromArgs); every occurrence is still
+  // validated so a typo can't hide behind a later correct repeat.
+  bool HaveFlag = false;
+  sim::SimBackend Chosen = sim::SimBackend::Switch;
   for (int I = 1; I < Argc; ++I)
     if (std::strncmp(Argv[I], "--sim-backend=", 14) == 0) {
       const char *V = Argv[I] + 14;
       sim::SimBackend B;
-      if (sim::simBackendFromName(V, B))
-        return B;
-      std::fprintf(stderr,
-                   "error: unknown --sim-backend value '%s' (expected %s)\n",
-                   V, sim::simBackendValidValues());
-      std::exit(2);
+      if (!sim::simBackendFromName(V, B)) {
+        std::fprintf(stderr,
+                     "error: unknown --sim-backend value '%s' (expected %s)\n",
+                     V, sim::simBackendValidValues());
+        std::exit(2);
+      }
+      Chosen = B;
+      HaveFlag = true;
     }
-  return sim::defaultSimBackend();
+  return HaveFlag ? Chosen : sim::defaultSimBackend();
 }
 
 /// Pipelined wave simulation switch: on by default; `--no-replay-overlap`
@@ -148,6 +164,20 @@ inline bool daeVerifyFromArgs(int Argc, char **Argv) {
   return Env && Env[0] == '1';
 }
 
+/// Profile-guided DAE refinement switch: `--dae-profile-guided` (or
+/// DAECC_DAE_PG=1) closes the profiling feedback loop per app before the
+/// scheme simulations (see dae/ProfileGuidedRefinement.h). Unlike
+/// --dae-verify this changes the Auto DAE profile — that is its purpose;
+/// before/after verdicts print per app and land in the dae_pg block of
+/// BENCH_<name>.json.
+inline bool daeProfileGuidedFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--dae-profile-guided") == 0)
+      return true;
+  const char *Env = std::getenv("DAECC_DAE_PG");
+  return Env && Env[0] == '1';
+}
+
 /// Strict positive-integer flag value. Garbage (non-numeric, trailing junk,
 /// zero, negative) is a hard configuration error (exit 2), never a silent
 /// fall-back to a default — a sweep that asked for 8 cores and silently got
@@ -179,6 +209,7 @@ struct BenchOptions {
   bool ReplayOverlap = true;
   bool PassStats = false;
   bool DaeVerify = false;
+  bool DaeProfileGuided = false;
   bool NoBaseline = false;
   /// --cores=N: simulated core count (0 keeps the machine default). The
   /// contention driver also uses it to bound the co-run sweep.
@@ -203,6 +234,7 @@ struct BenchOptions {
     O.ReplayOverlap = replayOverlapFromArgs(Argc, Argv);
     O.PassStats = pipelineFlagsFromArgs(Argc, Argv);
     O.DaeVerify = daeVerifyFromArgs(Argc, Argv);
+    O.DaeProfileGuided = daeProfileGuidedFromArgs(Argc, Argv);
     for (int I = 1; I < Argc; ++I) {
       const char *A = Argv[I];
       if (std::strcmp(A, "--no-baseline") == 0) {
@@ -223,6 +255,10 @@ struct BenchOptions {
         O.BigCores = parseUnsignedFlag("--big-little", Big.c_str());
         O.LittleCores = parseUnsignedFlag("--big-little", Comma + 1);
       } else if (std::strncmp(A, "--mix=", 6) == 0) {
+        // Repeated --mix flags last-win like every other flag: each
+        // occurrence replaces the list instead of silently appending (which
+        // used to co-schedule the union of every --mix on the command line).
+        O.Mix.clear();
         const char *V = A + 6;
         while (*V) {
           const char *Comma = std::strchr(V, ',');
@@ -333,6 +369,20 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 ///                                     covered_misses, strict_covered_misses,
 ///                                     prefetched_lines, unused_lines,
 ///                                     decoupled_tasks
+///   dae_pg                    array   profile-guided refinement outcomes,
+///                                     one object per app whose Auto scheme
+///                                     went through the feedback loop under
+///                                     --dae-profile-guided / DAECC_DAE_PG
+///                                     (empty when refinement was off): app,
+///                                     refined_tasks, actions (comma-joined
+///                                     "<task>: <rules>" lines), purity
+///                                     (refined phases passed the audit and
+///                                     the after-differential is clean),
+///                                     strict_before/strict_after,
+///                                     overshoot_before/overshoot_after,
+///                                     coverage_before/coverage_after,
+///                                     edp_before/edp_after (Min/Max-policy
+///                                     EDP of the Auto scheme, J*s)
 ///   interp                    object  functional-pass (value-producing)
 ///                                     interpreter throughput — the quantity
 ///                                     the execution backend changes, unlike
@@ -467,6 +517,52 @@ public:
     DaeVerifyEntries.push_back(Buf);
   }
 
+  /// Records one app's profile-guided refinement outcome for the dae_pg
+  /// JSON block and prints the human-readable before/after line. An impure
+  /// outcome (audit violation in a refined phase, or the refined scheme's
+  /// differential no longer clean) counts as a failure. No-op when
+  /// refinement did not run for the app.
+  void addDaePg(const std::string &App,
+                const harness::ProfileGuidedResult &Pg) {
+    if (!Pg.Ran)
+      return;
+    bool Pure = Pg.AuditPure && Pg.After.pure();
+    std::printf("[dae-pg] %-9s refined=%zu purity=%s strict=%.3f->%.3f "
+                "overshoot=%.3f->%.3f coverage=%.3f->%.3f edp=%.3e->%.3e\n",
+                App.c_str(), Pg.RefinedTasks, Pure ? "pass" : "FAIL",
+                Pg.Before.strictCoverage(), Pg.After.strictCoverage(),
+                Pg.Before.overshoot(), Pg.After.overshoot(),
+                Pg.Before.coverage(), Pg.After.coverage(), Pg.EdpBefore,
+                Pg.EdpAfter);
+    for (const std::string &A : Pg.Actions)
+      std::printf("[dae-pg]   %s\n", A.c_str());
+    for (const std::string &Viol : Pg.AuditViolations)
+      std::printf("[dae-pg]   audit violation: %s\n", Viol.c_str());
+    if (!Pure)
+      noteFailure();
+
+    std::string Actions;
+    for (size_t I = 0; I != Pg.Actions.size(); ++I) {
+      Actions += I ? "; " : "";
+      Actions += Pg.Actions[I];
+    }
+    char Buf[768];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\"app\": \"%s\", \"refined_tasks\": %zu, \"actions\": \"%s\", "
+        "\"purity\": %s, "
+        "\"strict_before\": %.6f, \"strict_after\": %.6f, "
+        "\"overshoot_before\": %.6f, \"overshoot_after\": %.6f, "
+        "\"coverage_before\": %.6f, \"coverage_after\": %.6f, "
+        "\"edp_before\": %.6e, \"edp_after\": %.6e}",
+        App.c_str(), Pg.RefinedTasks, Actions.c_str(),
+        Pure ? "true" : "false", Pg.Before.strictCoverage(),
+        Pg.After.strictCoverage(), Pg.Before.overshoot(),
+        Pg.After.overshoot(), Pg.Before.coverage(), Pg.After.coverage(),
+        Pg.EdpBefore, Pg.EdpAfter);
+    DaePgEntries.push_back(Buf);
+  }
+
   /// Records one co-run sweep point for the contention JSON block: the five
   /// policies' EDPs (absolute and normalized to CAE at fmax) plus the oracle
   /// timeline's bandwidth-pressure signal.
@@ -549,6 +645,12 @@ private:
       DaeVerify += DaeVerifyEntries[I];
     }
     DaeVerify += "]";
+    std::string DaePg = "[";
+    for (size_t I = 0; I != DaePgEntries.size(); ++I) {
+      DaePg += I ? ", " : "";
+      DaePg += DaePgEntries[I];
+    }
+    DaePg += "]";
     std::string Contention = "[";
     for (size_t I = 0; I != ContentionEntries.size(); ++I) {
       Contention += I ? ", " : "";
@@ -569,6 +671,7 @@ private:
                    "  \"speedup_vs_jobs1\": %.3f,\n"
                    "  \"pass_stats\": %s,\n"
                    "  \"dae_verify\": %s,\n"
+                   "  \"dae_pg\": %s,\n"
                    "  \"interp\": {\"backend\": \"%s\", "
                    "\"functional_wall_seconds\": %.6f, "
                    "\"functional_instr_per_sec\": %.1f, "
@@ -585,6 +688,7 @@ private:
                    static_cast<unsigned long long>(Instructions), Ips,
                    BaselineSeconds > 0.0 ? BaselineSeconds : -1.0, Speedup,
                    pm::PipelineStats::get().json().c_str(), DaeVerify.c_str(),
+                   DaePg.c_str(),
                    sim::simBackendName(Backend), FunctionalSeconds,
                    FunctionalIps, sim::TracePool::global().retainedBytes(),
                    sim::TracePool::global().peakBytes(),
@@ -606,6 +710,7 @@ private:
   double FunctionalSeconds = 0.0;
   std::uint64_t Instructions = 0;
   std::vector<std::string> DaeVerifyEntries;
+  std::vector<std::string> DaePgEntries;
   std::vector<std::string> ContentionEntries;
   std::chrono::steady_clock::time_point Start, End;
 };

@@ -71,6 +71,7 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = Opts.Jobs;
   const bool PassStats = Opts.PassStats;
   const bool DaeVerify = Opts.DaeVerify;
+  const bool DaeProfileGuided = Opts.DaeProfileGuided;
   const bool NoBaseline = Opts.NoBaseline;
   const bool MeasureBaseline = Opts.measureBaseline();
 
@@ -91,6 +92,7 @@ int main(int Argc, char **Argv) {
   SC.SimThreads = Cfg.SimThreads;
   SC.Memo = &Memo;
   SC.DaeVerify = DaeVerify;
+  SC.DaeProfileGuided = DaeProfileGuided;
 
   Throughput.start();
   std::vector<AppResult> Results = runSuite(Items, Cfg, SC);
@@ -106,6 +108,7 @@ int main(int Argc, char **Argv) {
     Throughput.add(R.Auto);
     Throughput.addDaeVerify(R.Name, "manual", R.ManualVerify);
     Throughput.addDaeVerify(R.Name, "auto", R.AutoVerify);
+    Throughput.addDaePg(R.Name, R.AutoPg);
   }
 
   // Sequential reference for the recorded speedup (skipped via

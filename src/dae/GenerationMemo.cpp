@@ -92,6 +92,11 @@ bool isCallFree(const Function &F) {
 
 } // namespace
 
+std::string dae::taskContentFingerprint(Function &Task,
+                                        pm::FunctionAnalysisManager &FAM) {
+  return taskFingerprint(Task, FAM.getResult<pm::FunctionPrintAnalysis>(Task));
+}
+
 GenerationMemo::~GenerationMemo() = default;
 
 bool GenerationMemo::OptionsPattern::matches(const DaeOptions &O,
@@ -159,8 +164,7 @@ AccessPhaseResult GenerationMemo::generate(Module &M, Function &Task,
   }
   passes::optimizeFunction(Task, FAM);
 
-  const std::string Fp =
-      taskFingerprint(Task, FAM.getResult<pm::FunctionPrintAnalysis>(Task));
+  const std::string Fp = taskContentFingerprint(Task, FAM);
   const std::string ColdFp = coldFingerprint(Task, Opts);
   const std::string RepFp = repFingerprint(Task, Opts);
 

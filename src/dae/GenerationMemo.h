@@ -46,6 +46,17 @@ class Function;
 class Module;
 } // namespace ir
 
+/// Content fingerprint of an *optimized* task: the pipeline's cached print
+/// of the body plus the name/size of every referenced global. Structurally
+/// identical tasks from different workload instances fingerprint equal, so
+/// the value keys both GenerationMemo entries and the profile-guided
+/// refinement loop's AccessProfile records (dae/AccessProfile.h) — an
+/// observation recorded against one module's task applies to its twin in
+/// another. \p Task must already be optimized (passes::optimizeFunction);
+/// the print is taken from \p FAM's cache.
+std::string taskContentFingerprint(ir::Function &Task,
+                                   pm::FunctionAnalysisManager &FAM);
+
 /// Memoizing wrapper around generateAccessPhase. See file comment.
 class GenerationMemo {
 public:

@@ -7,7 +7,9 @@
 #include "harness/Harness.h"
 
 #include "analysis/TaskAnalysis.h"
+#include "dae/AccessProfile.h"
 #include "dae/GenerationMemo.h"
+#include "dae/ProfileGuidedRefinement.h"
 #include "harness/JobPool.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
@@ -115,10 +117,124 @@ struct PreparedApp {
   /// Task lists indexed by Scheme (Cae, Manual, Auto).
   std::vector<Task> SchemeTasks[3];
   std::unique_ptr<Loader> L;
+  /// Profile-guided refinement outcome (when prepareApp ran it).
+  ProfileGuidedResult Pg;
 };
 
+/// The profile-guided refinement loop over one prepared app's Auto scheme
+/// (see dae/ProfileGuidedRefinement.h): measure per-task coverage/overshoot
+/// from the differential checker's captures, persist them into an
+/// AccessProfile keyed by task fingerprint, run the pm-registered
+/// refinement pass over the task functions, then swap the refined phases
+/// into SchemeTasks[2] (and Generation) and re-measure. Runs inside the
+/// app-preparation step, *before* any scheme simulation is submitted, so
+/// the Auto simulations always see the final phases.
+ProfileGuidedResult refineAutoScheme(Workload &W, PreparedApp &P,
+                                     const MachineConfig &Cfg,
+                                     const DaeOptions &Opts,
+                                     GenerationMemo *Memo,
+                                     pm::FunctionAnalysisManager &FAM) {
+  ProfileGuidedResult R;
+  bool AnyAccess = false;
+  for (const Task &T : P.SchemeTasks[2])
+    if (T.Access) {
+      AnyAccess = true;
+      break;
+    }
+  if (!AnyAccess)
+    return R;
+  R.Ran = true;
+
+  verify::DifferentialSpec Spec;
+  Spec.Init = W.Init;
+  Spec.OutputGlobals = W.OutputGlobals;
+  Spec.OutputSizes = W.OutputSizes;
+  verify::DifferentialChecker Checker(Cfg, *P.L, std::move(Spec));
+
+  std::vector<TaskObservation> Obs;
+  RunProfile BeforeProfile;
+  R.Before = Checker.check(P.SchemeTasks[2], &Obs, &BeforeProfile);
+  R.EdpBefore = evaluate(BeforeProfile, Cfg, minMaxConfig(Cfg, 0.0)).EdpJs;
+
+  // Persist the observations keyed by task content fingerprint; instances
+  // of the same task function merge into one record.
+  dae::AccessProfile Profile;
+  for (size_t I = 0; I != P.SchemeTasks[2].size(); ++I) {
+    if (!P.SchemeTasks[2][I].Access)
+      continue;
+    auto *Task = const_cast<ir::Function *>(P.SchemeTasks[2][I].Execute);
+    Profile.record(taskContentFingerprint(*Task, FAM), Obs[I]);
+  }
+
+  dae::RefinementConfig RC;
+  // A merged phase whose footprint exceeds the private L2 has a reuse
+  // distance spanning into the shared LLC — the planner's split signal.
+  RC.PhaseSplitFootprintBytes = Cfg.L2.SizeBytes;
+  // Cold-load profiling costs an instrumented coupled run; only pay for it
+  // when some phase actually overshoots the budget.
+  std::set<const ir::Instruction *> Cold;
+  std::vector<ir::Function *> TaskFns = W.taskFunctions();
+  for (ir::Function *F : TaskFns) {
+    dae::TaskProfileData D;
+    if (Profile.lookup(taskContentFingerprint(*F, FAM), D) &&
+        D.overshoot() > RC.OvershootBudget) {
+      Cold = profileColdLoads(W, Cfg);
+      if (!Cold.empty())
+        RC.ColdLoads = &Cold;
+      break;
+    }
+  }
+
+  // Run the refinement pass through a pass manager so it is instrumented
+  // (PipelineStats) and honors --verify-each like every other pass.
+  auto PassPtr = std::make_unique<dae::ProfileGuidedRefinementPass>(
+      *W.M, Profile, Opts, RC, Memo);
+  dae::ProfileGuidedRefinementPass *Refiner = PassPtr.get();
+  for (size_t GI = 0; GI != TaskFns.size(); ++GI)
+    Refiner->noteBaseline(TaskFns[GI], P.Generation[GI]);
+  pm::PassManager Mgr("dae-profile-guided");
+  Mgr.addPass(std::move(PassPtr));
+  for (ir::Function *F : TaskFns)
+    Mgr.run(*F, FAM);
+
+  if (Refiner->numRefined() == 0) {
+    R.After = R.Before;
+    R.EdpAfter = R.EdpBefore;
+    return R;
+  }
+  R.RefinedTasks = Refiner->numRefined();
+
+  // Swap the refined phases into the Auto scheme and the generation
+  // diagnostics, auditing each one — refinement must never trade purity
+  // for coverage.
+  for (size_t GI = 0; GI != TaskFns.size(); ++GI) {
+    const AccessPhaseResult *RR = Refiner->refinedResult(TaskFns[GI]);
+    if (!RR)
+      continue;
+    P.Generation[GI] = *RR;
+    R.Actions.push_back(TaskFns[GI]->getName() + ": " + RR->RefinementNote);
+    for (Task &T : P.SchemeTasks[2])
+      if (T.Execute == TaskFns[GI])
+        T.Access = RR->AccessFn;
+    verify::AuditReport Rep = verify::auditAccessPhase(*RR->AccessFn, FAM);
+    for (const verify::AuditViolation &Viol : Rep.Violations) {
+      R.AuditPure = false;
+      std::string S = RR->AccessFn->getName() + ": " + Viol.Reason;
+      if (Viol.Inst)
+        S += ": " + ir::printInstruction(*Viol.Inst);
+      R.AuditViolations.push_back(std::move(S));
+    }
+  }
+
+  RunProfile AfterProfile;
+  R.After = Checker.check(P.SchemeTasks[2], nullptr, &AfterProfile);
+  R.EdpAfter = evaluate(AfterProfile, Cfg, minMaxConfig(Cfg, 0.0)).EdpJs;
+  return R;
+}
+
 PreparedApp prepareApp(Workload &W, const DaeOptions *OptsOverride,
-                       GenerationMemo *Memo) {
+                       GenerationMemo *Memo,
+                       const MachineConfig *PgCfg = nullptr) {
   PreparedApp P;
   P.W = &W;
   const DaeOptions &Opts = OptsOverride ? *OptsOverride : W.Opts;
@@ -155,6 +271,12 @@ PreparedApp prepareApp(Workload &W, const DaeOptions *OptsOverride,
   }
 
   P.L = std::make_unique<Loader>(*W.M);
+
+  // Profile-guided refinement runs here — after the Loader exists (the
+  // differential runs need it; regeneration adds functions but no globals,
+  // so the layout stays valid) and before any scheme simulation can start.
+  if (PgCfg)
+    P.Pg = refineAutoScheme(W, P, *PgCfg, Opts, Memo, FAM);
   return P;
 }
 
@@ -181,6 +303,7 @@ AppResult assembleApp(PreparedApp &P, RunProfile Profiles[3],
   R.Row.NumTasks = P.W->Tasks.size();
   R.Row.AccessTimePercent = Rep.accessTimeFraction() * 100.0;
   R.Row.AccessTimeUs = Rep.avgAccessUs();
+  R.AutoPg = std::move(P.Pg);
   return R;
 }
 
@@ -188,8 +311,10 @@ AppResult assembleApp(PreparedApp &P, RunProfile Profiles[3],
 
 AppResult harness::runApp(Workload &W, const MachineConfig &Cfg,
                           const DaeOptions *OptsOverride,
-                          GenerationMemo *Memo, bool DaeVerify) {
-  PreparedApp P = prepareApp(W, OptsOverride, Memo);
+                          GenerationMemo *Memo, bool DaeVerify,
+                          bool DaeProfileGuided) {
+  PreparedApp P =
+      prepareApp(W, OptsOverride, Memo, DaeProfileGuided ? &Cfg : nullptr);
   RunProfile Profiles[3];
   std::vector<std::uint8_t> Outputs[3];
   for (int S = 0; S != 3; ++S)
@@ -226,7 +351,8 @@ std::vector<AppResult> harness::runSuite(const std::vector<SuiteItem> &Items,
   for (size_t I = 0; I != Items.size(); ++I) {
     Pool.submit([&Pool, &Slots, &Items, &JobCfg, &SC, I] {
       AppSlot &S = Slots[I];
-      S.P = prepareApp(*Items[I].W, Items[I].OptsOverride, SC.Memo);
+      S.P = prepareApp(*Items[I].W, Items[I].OptsOverride, SC.Memo,
+                       SC.DaeProfileGuided ? &JobCfg : nullptr);
       for (int Sch = 0; Sch != 3; ++Sch)
         Pool.submit([&S, &JobCfg, Sch] {
           S.Profiles[Sch] = runScheme(*S.P.W, S.P.SchemeTasks[Sch], JobCfg,

@@ -60,6 +60,28 @@ struct DaeVerifyResult {
   verify::DifferentialResult Diff;
 };
 
+/// Outcome of the profile-guided refinement loop over one app's Auto DAE
+/// scheme (--dae-profile-guided / DAECC_DAE_PG; see
+/// dae/ProfileGuidedRefinement.h). Ran is false when refinement was off or
+/// the scheme had no decoupled tasks. When Ran is true the Auto scheme's
+/// simulated profile (AppResult::Auto) reflects the *refined* phases.
+struct ProfileGuidedResult {
+  bool Ran = false;
+  /// Differential verdicts of the Auto scheme before and after refinement.
+  /// When no task warranted regeneration, After == Before.
+  verify::DifferentialResult Before, After;
+  /// Every refined access phase passed the static purity audit.
+  bool AuditPure = true;
+  std::vector<std::string> AuditViolations;
+  /// Task functions whose access phase was regenerated.
+  std::size_t RefinedTasks = 0;
+  /// One "<task>: <actions>" line per refined task function.
+  std::vector<std::string> Actions;
+  /// Min/Max-policy EDP of the Auto scheme before/after refinement (J*s);
+  /// -1 when not priced.
+  double EdpBefore = -1.0, EdpAfter = -1.0;
+};
+
 /// Everything measured for one application.
 struct AppResult {
   std::string Name;
@@ -88,6 +110,9 @@ struct AppResult {
   /// under --dae-verify.
   DaeVerifyResult ManualVerify;
   DaeVerifyResult AutoVerify;
+
+  /// Profile-guided refinement outcome (under --dae-profile-guided).
+  ProfileGuidedResult AutoPg;
 };
 
 /// Figure 3 bars for one application at one transition latency, normalized
@@ -109,7 +134,8 @@ struct Fig3Row {
 /// oracle over the Manual and Auto schemes (see SuiteConfig::DaeVerify).
 AppResult runApp(workloads::Workload &W, const sim::MachineConfig &Cfg,
                  const DaeOptions *OptsOverride = nullptr,
-                 GenerationMemo *Memo = nullptr, bool DaeVerify = false);
+                 GenerationMemo *Memo = nullptr, bool DaeVerify = false,
+                 bool DaeProfileGuided = false);
 
 /// One unit of suite work: a workload plus optional per-item generator
 /// options (the ablation drivers pass a different override per variant).
@@ -133,6 +159,14 @@ struct SuiteConfig {
   /// AppResult::ManualVerify / AutoVerify; simulated profiles and outputs
   /// are unaffected.
   bool DaeVerify = false;
+  /// Run the profile-guided refinement loop per app before the scheme
+  /// simulations (--dae-profile-guided / DAECC_DAE_PG): measure the Auto
+  /// scheme's per-task coverage/overshoot via the differential checker's
+  /// captures, regenerate the phases the planner flags, and simulate the
+  /// Auto scheme with the refined phases. Results land in
+  /// AppResult::AutoPg. Unlike DaeVerify this *changes* the Auto profile
+  /// (that is its purpose); with the flag off nothing is touched.
+  bool DaeProfileGuided = false;
 };
 
 /// Runs every item through the full per-app pipeline on a JobPool: each app

@@ -1,0 +1,65 @@
+//===- runtime/CaptureObservation.cpp - Capture -> profile bridge ----------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CaptureObservation.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dae;
+using namespace dae::runtime;
+
+namespace {
+
+bool containsLine(const std::vector<std::uint64_t> &SortedLines,
+                  std::uint64_t Line) {
+  return std::binary_search(SortedLines.begin(), SortedLines.end(), Line);
+}
+
+} // namespace
+
+std::vector<TaskObservation>
+runtime::observeCaptures(const RunCapture &With, const RunCapture &Without) {
+  assert(With.Tasks.size() == Without.Tasks.size() &&
+         "captures recorded from different task lists");
+
+  // The scheme's access-phase footprint: every line any decoupled task's
+  // access phase touched (sorted unique, so per-miss membership is a binary
+  // search).
+  std::vector<std::uint64_t> Footprint;
+  for (const TaskCapture &W : With.Tasks)
+    if (W.HasAccess)
+      Footprint.insert(Footprint.end(), W.Access.Lines.begin(),
+                       W.Access.Lines.end());
+  std::sort(Footprint.begin(), Footprint.end());
+  Footprint.erase(std::unique(Footprint.begin(), Footprint.end()),
+                  Footprint.end());
+
+  std::vector<TaskObservation> Obs(With.Tasks.size());
+  for (std::size_t I = 0; I != With.Tasks.size(); ++I) {
+    TaskObservation &O = Obs[I];
+    O.LineBytes = With.LineBytes;
+    const TaskCapture &W = With.Tasks[I];
+    if (!W.HasAccess)
+      continue;
+    O.HasAccess = true;
+
+    for (std::uint64_t Miss : Without.Tasks[I].Execute.MissLines) {
+      ++O.BaselineMisses;
+      if (containsLine(Footprint, Miss))
+        ++O.FootprintCoveredMisses;
+      if (containsLine(W.Access.Lines, Miss))
+        ++O.StrictCoveredMisses;
+    }
+
+    O.PrefetchedLines = W.Access.Lines.size();
+    for (std::uint64_t Line : W.Access.Lines)
+      if (!containsLine(W.Execute.Lines, Line))
+        ++O.UnusedPrefetchedLines;
+    O.ExecuteLines = W.Execute.Lines.size();
+  }
+  return Obs;
+}

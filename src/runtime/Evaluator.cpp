@@ -56,7 +56,13 @@ RunReport runtime::evaluate(const RunProfile &Profile,
 
   std::vector<double> CoreBusyNs(Profile.NumCores, 0.0);
   std::vector<double> CoreEnergyJ(Profile.NumCores, 0.0);
-  std::vector<double> CoreFreq(Profile.NumCores, Cfg.fmax());
+  // Cores idle at their *own* ladder's top rung, not the machine-wide fmax:
+  // on big.LITTLE a little core never ran at the big cores' fmax, so seeding
+  // it there would miscount the first transition and price it off-ladder.
+  std::vector<double> CoreFreq;
+  CoreFreq.reserve(Profile.NumCores);
+  for (unsigned C = 0; C != Profile.NumCores; ++C)
+    CoreFreq.push_back(Cfg.fmaxOf(C));
 
   auto RunPhase = [&](unsigned Core, const PhaseStats &S, double FreqGHz,
                       bool IsAccess) {
@@ -105,16 +111,20 @@ RunReport runtime::evaluate(const RunProfile &Profile,
       unsigned Core = T.Core;
       double Before = CoreBusyNs[Core];
       if (T.HasAccess) {
+        // Fixed-policy targets come from outside the machine model, so pin
+        // them to this core's ladder range: a target above a little core's
+        // fmax runs (and is priced) at that core's fmax, not the global one.
         double FA = Eval.Policy == FreqPolicy::OptimalEdp
                         ? bestEdpFrequency(T.Access, Cfg, PM, Core)
                         : IsGovernor ? Governors[Core].frequency()
-                                     : Eval.AccessFreqGHz;
+                                     : Cfg.clampToLadder(Core,
+                                                         Eval.AccessFreqGHz);
         RunPhase(Core, T.Access, FA, /*IsAccess=*/true);
       }
       double FE = Eval.Policy == FreqPolicy::OptimalEdp
                       ? bestEdpFrequency(T.Execute, Cfg, PM, Core)
                       : IsGovernor ? Governors[Core].frequency()
-                                   : Eval.ExecFreqGHz;
+                                   : Cfg.clampToLadder(Core, Eval.ExecFreqGHz);
       RunPhase(Core, T.Execute, FE, /*IsAccess=*/false);
 
       // Runtime bookkeeping (dequeue/hand-off) at the execute frequency.

@@ -78,15 +78,36 @@ public:
   /// longer than one window triggers multiple decisions (at the span's
   /// uniform utilization), so e.g. Conservative ramps one rung per window
   /// across a long phase.
+  ///
+  /// Spans are consumed chronologically: each window's decision sees only
+  /// the utilization of the wall time that actually fell inside it. A
+  /// zero-wall span is unobservable (no time elapsed in which to sample) and
+  /// is discarded outright — it must neither divide by zero nor smear stale
+  /// compute into the next window. Likewise, a span reporting more compute
+  /// than wall time saturates at 100% for its own duration only.
   void account(double ComputeNs, double WallNs) {
-    WindowComputeNs += ComputeNs;
-    WindowWallNs += WallNs;
     const double WindowNs = P.SampleUs * 1000.0;
-    while (WindowWallNs >= WindowNs && WindowNs > 0.0) {
-      double Util = WindowComputeNs / WindowWallNs;
-      decide(Util > 1.0 ? 1.0 : Util);
-      WindowComputeNs -= Util * WindowNs;
-      WindowWallNs -= WindowNs;
+    if (WallNs <= 0.0 || WindowNs <= 0.0)
+      return;
+    double Util = ComputeNs / WallNs;
+    if (Util > 1.0)
+      Util = 1.0;
+    else if (Util < 0.0)
+      Util = 0.0;
+    double Remaining = WallNs;
+    while (Remaining > 0.0) {
+      double Take = WindowNs - WindowWallNs;
+      if (Take > Remaining)
+        Take = Remaining;
+      WindowWallNs += Take;
+      WindowComputeNs += Util * Take;
+      Remaining -= Take;
+      if (WindowWallNs >= WindowNs) {
+        double WUtil = WindowComputeNs / WindowNs;
+        decide(WUtil > 1.0 ? 1.0 : WUtil);
+        WindowComputeNs = 0.0;
+        WindowWallNs = 0.0;
+      }
     }
   }
 

@@ -133,10 +133,25 @@ private:
 /// single-workload engine's infinite-bandwidth model).
 class DramChannel {
 public:
-  DramChannel(double BandwidthGBs, unsigned LineBytes)
-      : OccupancyNs(BandwidthGBs > 0.0
-                        ? static_cast<double>(LineBytes) / BandwidthGBs
-                        : 0.0) {}
+  /// Ceiling on the per-line occupancy. A subnormal BandwidthGBs can
+  /// overflow LineBytes / BandwidthGBs to +inf, which would saturate
+  /// NextFreeNs on the first request and poison every later queuing delay
+  /// (inf, or NaN once subtracted). 1e18 ns (~31 simulated years per line)
+  /// is far beyond any meaningful configuration yet leaves ~1e290 requests
+  /// of headroom before the queue clock itself could overflow.
+  static constexpr double MaxOccupancyNs = 1e18;
+
+  DramChannel(double BandwidthGBs, unsigned LineBytes) {
+    if (BandwidthGBs > 0.0) {
+      double Occ = static_cast<double>(LineBytes) / BandwidthGBs;
+      // !(Occ <= Max) also catches NaN from a pathological division.
+      if (!(Occ <= MaxOccupancyNs))
+        Occ = MaxOccupancyNs;
+      OccupancyNs = Occ;
+    }
+    // BandwidthGBs <= 0 (or NaN): channel disabled, OccupancyNs stays 0 and
+    // requestLine is byte-identical to having no channel at all.
+  }
 
   /// Books a line transfer issued at \p NowNs; returns the queuing delay
   /// (ns) the requester waits before its DRAM latency starts.
@@ -152,7 +167,7 @@ public:
   double occupancyNs() const { return OccupancyNs; }
 
 private:
-  double OccupancyNs;
+  double OccupancyNs = 0.0;
   double NextFreeNs = 0.0;
 };
 

@@ -31,15 +31,12 @@ std::vector<std::uint8_t> snapshotOutputs(const DifferentialSpec &Spec,
   return Bytes;
 }
 
-bool containsLine(const std::vector<std::uint64_t> &SortedLines,
-                  std::uint64_t Line) {
-  return std::binary_search(SortedLines.begin(), SortedLines.end(), Line);
-}
-
 } // namespace
 
 DifferentialResult
-DifferentialChecker::check(const std::vector<Task> &Tasks) const {
+DifferentialChecker::check(const std::vector<Task> &Tasks,
+                           std::vector<TaskObservation> *Observations,
+                           RunProfile *WithProfile) const {
   DifferentialResult R;
   R.TotalTasks = Tasks.size();
 
@@ -51,7 +48,9 @@ DifferentialChecker::check(const std::vector<Task> &Tasks) const {
     sim::Memory Mem;
     Spec.Init(Mem, L);
     TaskRuntime RT(Cfg, Mem, L);
-    RT.execute(Tasks, /*RunAccess=*/true, &With);
+    RunProfile P = RT.execute(Tasks, /*RunAccess=*/true, &With);
+    if (WithProfile)
+      *WithProfile = std::move(P);
     HashWith = Mem.imageHash();
     OutWith = snapshotOutputs(Spec, Mem, L);
   }
@@ -73,36 +72,20 @@ DifferentialChecker::check(const std::vector<Task> &Tasks) const {
   R.MemoryMatch = HashWith == HashWithout;
   R.OutputsMatch = OutWith == OutWithout;
 
-  // The scheme's access-phase footprint: every line any decoupled task's
-  // access phase touched (the gate metric's reference set).
-  std::vector<std::uint64_t> Footprint;
-  for (const TaskCapture &W : With.Tasks)
-    if (W.HasAccess)
-      Footprint.insert(Footprint.end(), W.Access.Lines.begin(),
-                       W.Access.Lines.end());
-  std::sort(Footprint.begin(), Footprint.end());
-  Footprint.erase(std::unique(Footprint.begin(), Footprint.end()),
-                  Footprint.end());
-
-  // Coverage & overshoot, matched per original task index.
-  for (std::size_t I = 0; I != Tasks.size(); ++I) {
-    const TaskCapture &W = With.Tasks[I];
-    if (!W.HasAccess)
+  // Per-task coverage & overshoot via the capture->profile bridge; the
+  // scheme verdict is the sum over decoupled tasks.
+  std::vector<TaskObservation> Obs = observeCaptures(With, Without);
+  for (const TaskObservation &O : Obs) {
+    if (!O.HasAccess)
       continue;
     ++R.DecoupledTasks;
-
-    for (std::uint64_t Miss : Without.Tasks[I].Execute.MissLines) {
-      ++R.BaselineExecMisses;
-      if (containsLine(Footprint, Miss))
-        ++R.CoveredMisses;
-      if (containsLine(W.Access.Lines, Miss))
-        ++R.StrictCoveredMisses;
-    }
-
-    R.PrefetchedLines += W.Access.Lines.size();
-    for (std::uint64_t Line : W.Access.Lines)
-      if (!containsLine(W.Execute.Lines, Line))
-        ++R.UnusedPrefetchedLines;
+    R.BaselineExecMisses += O.BaselineMisses;
+    R.CoveredMisses += O.FootprintCoveredMisses;
+    R.StrictCoveredMisses += O.StrictCoveredMisses;
+    R.PrefetchedLines += O.PrefetchedLines;
+    R.UnusedPrefetchedLines += O.UnusedPrefetchedLines;
   }
+  if (Observations)
+    *Observations = std::move(Obs);
   return R;
 }

@@ -37,6 +37,7 @@
 #ifndef DAECC_VERIFY_DIFFERENTIALCHECKER_H
 #define DAECC_VERIFY_DIFFERENTIALCHECKER_H
 
+#include "runtime/CaptureObservation.h"
 #include "runtime/Runtime.h"
 
 #include <cstdint>
@@ -116,7 +117,18 @@ public:
   /// initialized memory and returns the verdict. Thread-compatible: uses
   /// only private Memory instances, so concurrent checks over shared
   /// read-only modules are safe (the suite engine runs one per scheme job).
-  DifferentialResult check(const std::vector<runtime::Task> &Tasks) const;
+  ///
+  /// When \p Observations is non-null it receives the per-task
+  /// coverage/overshoot breakdown (index-aligned with \p Tasks) that the
+  /// whole-scheme counters are summed from — the feedback signal the
+  /// profile-guided refinement loop persists per task fingerprint. When
+  /// \p WithProfile is non-null it receives the with-access run's
+  /// RunProfile, so callers pricing the scheme (EDP before/after
+  /// refinement) need no extra simulation.
+  DifferentialResult
+  check(const std::vector<runtime::Task> &Tasks,
+        std::vector<runtime::TaskObservation> *Observations = nullptr,
+        runtime::RunProfile *WithProfile = nullptr) const;
 
 private:
   const sim::MachineConfig &Cfg;

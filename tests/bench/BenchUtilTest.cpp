@@ -187,6 +187,62 @@ TEST(BenchUtilDeathTest, UnknownGovernorIsAHardError) {
               "'conservative' or 'both'");
 }
 
+TEST(BenchOptions, DaeProfileGuidedFlagAndEnv) {
+  unsetenv("DAECC_DAE_PG");
+  EXPECT_FALSE(parseOpts({}).DaeProfileGuided);
+  EXPECT_TRUE(parseOpts({"--dae-profile-guided"}).DaeProfileGuided);
+  setenv("DAECC_DAE_PG", "1", 1);
+  EXPECT_TRUE(parseOpts({}).DaeProfileGuided);
+  setenv("DAECC_DAE_PG", "0", 1);
+  EXPECT_FALSE(parseOpts({}).DaeProfileGuided);
+  unsetenv("DAECC_DAE_PG");
+}
+
+// --- Duplicate flags: deterministic last-win ------------------------------
+//
+// A sweep script appends overrides to a base command line, so repeating a
+// flag must deterministically take the last occurrence. --cores used to keep
+// the first value and --mix used to co-schedule the union of every
+// occurrence.
+
+TEST(BenchOptions, RepeatedScalarFlagsLastWin) {
+  BenchOptions O = parseOpts({"--cores=2", "--jobs=2", "--sim-threads=2",
+                              "--cores=8", "--jobs=3", "--sim-threads=4"});
+  EXPECT_EQ(O.Cores, 8u);
+  EXPECT_EQ(O.Jobs, 3u);
+  EXPECT_EQ(O.SimThreads, 4u);
+}
+
+TEST(BenchOptions, RepeatedMixReplacesInsteadOfAppending) {
+  BenchOptions O = parseOpts({"--mix=libq,cigar", "--mix=fft"});
+  ASSERT_EQ(O.Mix.size(), 1u) << "each --mix must replace the previous list";
+  EXPECT_EQ(O.Mix[0], "fft");
+}
+
+TEST(BenchOptions, RepeatedGovernorLastWins) {
+  BenchOptions O = parseOpts({"--governor=ondemand", "--governor=conservative"});
+  EXPECT_EQ(O.Governor, "conservative");
+}
+
+TEST(BenchOptions, RepeatedBackendLastWins) {
+  unsetenv("DAECC_SIM_BACKEND");
+  BenchOptions O = parseOpts({"--sim-backend=switch", "--sim-backend=native"});
+  EXPECT_EQ(O.Backend, SimBackend::Native);
+}
+
+TEST(BenchUtilDeathTest, EarlyInvalidOccurrenceStillHardErrors) {
+  // Every occurrence is validated; a typo cannot hide behind a later
+  // correct repeat.
+  EXPECT_EXIT(parseOpts({"--sim-backend=fastest", "--sim-backend=native"}),
+              ::testing::ExitedWithCode(2),
+              "unknown --sim-backend value 'fastest'");
+  EXPECT_EXIT(parseOpts({"--cores=many", "--cores=4"}),
+              ::testing::ExitedWithCode(2), "invalid --cores value 'many'");
+  EXPECT_EXIT(parseOpts({"--governor=powersave", "--governor=both"}),
+              ::testing::ExitedWithCode(2),
+              "unknown --governor value 'powersave'");
+}
+
 // The strict name mapping itself (shared by flag and env paths).
 TEST(BenchUtil, SimBackendFromNameIsStrict) {
   SimBackend B = SimBackend::Switch;

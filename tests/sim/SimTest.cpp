@@ -15,7 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 
 using namespace dae;
 using namespace dae::ir;
@@ -415,6 +417,57 @@ TEST(InterpreterTest, PrefetchWarmsWithoutSideEffects) {
   EXPECT_EQ(Access.Prefetches, static_cast<std::uint64_t>(N) + 1);
   EXPECT_EQ(Exec.MemAccesses, 0u) << "prefetched data must hit";
   EXPECT_EQ(Exec.StallNs, 0.0);
+}
+
+// --- DramChannel occupancy boundaries -------------------------------------
+
+TEST(DramChannelTest, NormalBandwidthQueuesBackToBack) {
+  // 12.8 GB/s at 64-byte lines: 5 ns per transfer. Three requests at the
+  // same instant queue 0 / 5 / 10 ns.
+  DramChannel Ch(12.8, 64);
+  EXPECT_DOUBLE_EQ(Ch.occupancyNs(), 5.0);
+  EXPECT_DOUBLE_EQ(Ch.requestLine(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Ch.requestLine(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(Ch.requestLine(0.0), 10.0);
+  // A request after the backlog drains waits nothing.
+  EXPECT_DOUBLE_EQ(Ch.requestLine(100.0), 0.0);
+}
+
+TEST(DramChannelTest, NonPositiveBandwidthIsIdenticalToNoChannel) {
+  // <= 0 (and NaN) disables the queue: occupancy 0 and every request free,
+  // byte-identical to the single-workload engine's no-channel model.
+  for (double B : {0.0, -1.0, -12.8, std::nan("")}) {
+    DramChannel Ch(B, 64);
+    EXPECT_DOUBLE_EQ(Ch.occupancyNs(), 0.0) << "bandwidth " << B;
+    for (int I = 0; I != 4; ++I)
+      EXPECT_DOUBLE_EQ(Ch.requestLine(I * 3.0), 0.0) << "bandwidth " << B;
+  }
+}
+
+TEST(DramChannelTest, ExtremeBandwidthStaysFinite) {
+  // A subnormal bandwidth would overflow LineBytes / BandwidthGBs to +inf;
+  // the occupancy must cap at the finite ceiling instead, so repeated
+  // requests keep producing finite (if astronomically large) delays.
+  DramChannel Tiny(5e-324, 64);
+  EXPECT_TRUE(std::isfinite(Tiny.occupancyNs()));
+  EXPECT_DOUBLE_EQ(Tiny.occupancyNs(), DramChannel::MaxOccupancyNs);
+  EXPECT_DOUBLE_EQ(Tiny.requestLine(0.0), 0.0);
+  for (int I = 1; I != 4; ++I) {
+    double Delay = Tiny.requestLine(0.0);
+    EXPECT_TRUE(std::isfinite(Delay)) << "request " << I;
+    EXPECT_DOUBLE_EQ(Delay, I * DramChannel::MaxOccupancyNs);
+  }
+
+  // Huge-but-normal configurations keep their exact occupancy.
+  DramChannel Slow(1e-12, 64);
+  EXPECT_TRUE(std::isfinite(Slow.occupancyNs()));
+  EXPECT_DOUBLE_EQ(Slow.occupancyNs(), 64.0 / 1e-12);
+
+  // Infinite bandwidth transfers in zero time but still counts as enabled
+  // only when positive; occupancy collapses to 0 and requests are free.
+  DramChannel Inf(std::numeric_limits<double>::infinity(), 64);
+  EXPECT_DOUBLE_EQ(Inf.occupancyNs(), 0.0);
+  EXPECT_DOUBLE_EQ(Inf.requestLine(0.0), 0.0);
 }
 
 } // namespace
