@@ -22,6 +22,7 @@
 #include "runtime/Task.h"
 #include "sim/AccessTrace.h"
 #include "sim/MachineConfig.h"
+#include "support/EnvParse.h"
 #include "workloads/Workload.h"
 
 #include <chrono>
@@ -34,16 +35,33 @@
 namespace dae {
 namespace bench {
 
+/// Strict positive-integer flag value. Garbage (non-numeric, trailing junk,
+/// zero, negative) is a hard configuration error (exit 2), never a silent
+/// fall-back to a default — a sweep that asked for 8 cores and silently got
+/// 1 would mislabel its own results. Environment fallbacks go through the
+/// same contract via support::envUnsignedOr / envBool01Or.
+inline unsigned parseUnsignedFlag(const char *Flag, const char *Value) {
+  char *End = nullptr;
+  long N = std::strtol(Value, &End, 10);
+  if (End == Value || *End != '\0' || N <= 0) {
+    std::fprintf(stderr,
+                 "error: invalid %s value '%s' (expected a positive "
+                 "integer)\n",
+                 Flag, Value);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(N);
+}
+
 /// Full scale by default; `--test-scale` (or DAECC_TEST_SCALE=1) shrinks the
 /// inputs so the whole suite runs in seconds (used by ctest smoke runs).
 inline workloads::Scale scaleFromArgs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
     if (std::strcmp(Argv[I], "--test-scale") == 0)
       return workloads::Scale::Test;
-  const char *Env = std::getenv("DAECC_TEST_SCALE");
-  if (Env && Env[0] == '1')
-    return workloads::Scale::Test;
-  return workloads::Scale::Full;
+  return support::envBool01Or("DAECC_TEST_SCALE", false)
+             ? workloads::Scale::Test
+             : workloads::Scale::Full;
 }
 
 /// Host worker threads for the simulation engine: `--sim-threads=N` (or
@@ -57,15 +75,9 @@ inline unsigned simThreadsFromArgs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
     if (std::strncmp(Argv[I], "--sim-threads=", 14) == 0)
       Last = Argv[I] + 14;
-  if (Last) {
-    long N = std::strtol(Last, nullptr, 10);
-    return N > 0 ? static_cast<unsigned>(N) : 1u;
-  }
-  if (const char *Env = std::getenv("DAECC_SIM_THREADS")) {
-    long N = std::strtol(Env, nullptr, 10);
-    return N > 0 ? static_cast<unsigned>(N) : 1u;
-  }
-  return 1u;
+  if (Last)
+    return parseUnsignedFlag("--sim-threads", Last);
+  return support::envUnsignedOr("DAECC_SIM_THREADS", 1u);
 }
 
 /// Concurrent suite jobs for harness::runSuite: `--jobs=N` (or
@@ -78,15 +90,9 @@ inline unsigned jobsFromArgs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
     if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
       Last = Argv[I] + 7;
-  if (Last) {
-    long N = std::strtol(Last, nullptr, 10);
-    return N > 0 ? static_cast<unsigned>(N) : 1u;
-  }
-  if (const char *Env = std::getenv("DAECC_JOBS")) {
-    long N = std::strtol(Env, nullptr, 10);
-    return N > 0 ? static_cast<unsigned>(N) : 1u;
-  }
-  return 1u;
+  if (Last)
+    return parseUnsignedFlag("--jobs", Last);
+  return support::envUnsignedOr("DAECC_JOBS", 1u);
 }
 
 /// Functional execution backend: `--sim-backend={switch,threaded,native}`
@@ -128,10 +134,7 @@ inline bool replayOverlapFromArgs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
     if (std::strcmp(Argv[I], "--no-replay-overlap") == 0)
       return false;
-  const char *Env = std::getenv("DAECC_REPLAY_OVERLAP");
-  if (Env && Env[0] == '0')
-    return false;
-  return true;
+  return support::envBool01Or("DAECC_REPLAY_OVERLAP", true);
 }
 
 /// Compilation-pipeline switches shared by the drivers: `--verify-each` and
@@ -160,8 +163,7 @@ inline bool daeVerifyFromArgs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
     if (std::strcmp(Argv[I], "--dae-verify") == 0)
       return true;
-  const char *Env = std::getenv("DAECC_DAE_VERIFY");
-  return Env && Env[0] == '1';
+  return support::envBool01Or("DAECC_DAE_VERIFY", false);
 }
 
 /// Profile-guided DAE refinement switch: `--dae-profile-guided` (or
@@ -174,25 +176,7 @@ inline bool daeProfileGuidedFromArgs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
     if (std::strcmp(Argv[I], "--dae-profile-guided") == 0)
       return true;
-  const char *Env = std::getenv("DAECC_DAE_PG");
-  return Env && Env[0] == '1';
-}
-
-/// Strict positive-integer flag value. Garbage (non-numeric, trailing junk,
-/// zero, negative) is a hard configuration error (exit 2), never a silent
-/// fall-back to a default — a sweep that asked for 8 cores and silently got
-/// 1 would mislabel its own results.
-inline unsigned parseUnsignedFlag(const char *Flag, const char *Value) {
-  char *End = nullptr;
-  long N = std::strtol(Value, &End, 10);
-  if (End == Value || *End != '\0' || N <= 0) {
-    std::fprintf(stderr,
-                 "error: invalid %s value '%s' (expected a positive "
-                 "integer)\n",
-                 Flag, Value);
-    std::exit(2);
-  }
-  return static_cast<unsigned>(N);
+  return support::envBool01Or("DAECC_DAE_PG", false);
 }
 
 /// The suite drivers' shared command-line surface, parsed once. Every driver
@@ -224,6 +208,17 @@ struct BenchOptions {
   /// --governor={ondemand,conservative,both}: which reactive baselines the
   /// contention driver reports.
   std::string Governor = "both";
+  /// --serve: instead of running the driver's one-shot suite, start the
+  /// long-lived experiment daemon (src/service/) on SocketPath and serve
+  /// requests until shut down. Served results are bit-identical to the
+  /// one-shot run of the same request by construction.
+  bool Serve = false;
+  /// --socket=PATH: Unix-domain socket the daemon listens on.
+  std::string SocketPath = "daecc.sock";
+  /// --cache-dir=PATH (or DAECC_CACHE_DIR): directory of the daemon's
+  /// persistent disk-backed result cache; empty disables disk persistence
+  /// (the in-memory cache still serves repeats within one daemon lifetime).
+  std::string CacheDir;
 
   static BenchOptions parse(int Argc, char **Argv) {
     BenchOptions O;
@@ -235,10 +230,22 @@ struct BenchOptions {
     O.PassStats = pipelineFlagsFromArgs(Argc, Argv);
     O.DaeVerify = daeVerifyFromArgs(Argc, Argv);
     O.DaeProfileGuided = daeProfileGuidedFromArgs(Argc, Argv);
+    if (const char *Env = std::getenv("DAECC_CACHE_DIR"))
+      O.CacheDir = Env;
     for (int I = 1; I < Argc; ++I) {
       const char *A = Argv[I];
       if (std::strcmp(A, "--no-baseline") == 0) {
         O.NoBaseline = true;
+      } else if (std::strcmp(A, "--serve") == 0) {
+        O.Serve = true;
+      } else if (std::strncmp(A, "--socket=", 9) == 0) {
+        if (!A[9]) {
+          std::fprintf(stderr, "error: --socket requires a path\n");
+          std::exit(2);
+        }
+        O.SocketPath = A + 9;
+      } else if (std::strncmp(A, "--cache-dir=", 12) == 0) {
+        O.CacheDir = A + 12; // empty re-disables a DAECC_CACHE_DIR default
       } else if (std::strncmp(A, "--cores=", 8) == 0) {
         O.Cores = parseUnsignedFlag("--cores", A + 8);
       } else if (std::strncmp(A, "--big-little=", 13) == 0) {
@@ -436,10 +443,31 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 ///                                     dae_oracle timeline (the bandwidth
 ///                                     pressure signal). Empty when the
 ///                                     driver ran no co-run sweep.
+///   service                   object  experiment-daemon counters (null for
+///                                     one-shot runs), refreshed on every
+///                                     daemon checkpoint: requests, errors,
+///                                     memory_hits / disk_hits / misses /
+///                                     corrupt_entries of the result cache,
+///                                     shared_computes (requests coalesced
+///                                     onto an in-flight identical compute),
+///                                     rejected_busy (bounded-queue
+///                                     backpressure), queue_depth,
+///                                     latency_ms {count, mean, max} split by
+///                                     hit/miss, memo {hits, misses,
+///                                     evictions} of the shared
+///                                     GenerationMemo
 ///   failures                  int     apps whose schemes disagreed (or
 ///                                     otherwise failed)
-///   status                    string  "started" while running, then "ok"
+///   status                    string  "started" while running, "serving"
+///                                     at daemon checkpoints, then "ok"
 ///                                     (failures == 0) or "partial"
+///
+/// The file is published atomically (written to a same-directory temp file,
+/// then renamed over BENCH_<name>.json), so a concurrent reader — a sweep
+/// script polling a daemon's counters, or a dashboard tailing a long run —
+/// never observes a truncated or half-written object. The previous in-place
+/// fopen(..., "w") truncated first and wrote second, a window in which
+/// readers saw an empty or partial file.
 class ThroughputReporter {
 public:
   ThroughputReporter(std::string BenchName, unsigned SimThreads,
@@ -473,6 +501,16 @@ public:
   /// suite, enabling the replay_overlap speedup field.
   void setNoOverlapBaseline(double NoOverlapSecs) {
     NoOverlapSeconds = NoOverlapSecs;
+  }
+
+  /// Daemon checkpoint: installs the service counters (a preformatted JSON
+  /// object, see the schema above) and atomically republishes
+  /// BENCH_<name>.json with status "serving". The daemon calls this after
+  /// every served request, so pollers always see current counters.
+  void checkpointService(const std::string &ServiceBlock) {
+    ServiceJson = ServiceBlock;
+    End = std::chrono::steady_clock::now();
+    writeJson(Failures == 0 ? "serving" : "partial");
   }
 
   /// Records one (app, scheme) oracle verdict for the dae_verify JSON block
@@ -657,8 +695,13 @@ private:
       Contention += ContentionEntries[I];
     }
     Contention += "]";
+    // Temp-file + rename publication: readers polling the file (daemon
+    // dashboards, sweep scripts) must never see a truncated object. The temp
+    // file lives in the same directory so the rename cannot cross a
+    // filesystem boundary.
     std::string Path = "BENCH_" + Name + ".json";
-    if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+    std::string Tmp = Path + ".tmp";
+    if (std::FILE *F = std::fopen(Tmp.c_str(), "w")) {
       std::fprintf(F,
                    "{\n"
                    "  \"bench\": \"%s\",\n"
@@ -681,6 +724,7 @@ private:
                    "\"wall_seconds\": %.6f, "
                    "\"no_overlap_wall_seconds\": %.6f, \"speedup\": %.3f},\n"
                    "  \"contention\": %s,\n"
+                   "  \"service\": %s,\n"
                    "  \"failures\": %u,\n"
                    "  \"status\": \"%s\"\n"
                    "}\n",
@@ -694,8 +738,10 @@ private:
                    sim::TracePool::global().peakBytes(),
                    ReplayOverlap ? "true" : "false", Seconds,
                    NoOverlapSeconds > 0.0 ? NoOverlapSeconds : -1.0,
-                   OverlapSpeedup, Contention.c_str(), Failures, Status);
+                   OverlapSpeedup, Contention.c_str(), ServiceJson.c_str(),
+                   Failures, Status);
       std::fclose(F);
+      std::rename(Tmp.c_str(), Path.c_str());
     }
   }
 
@@ -709,6 +755,7 @@ private:
   double NoOverlapSeconds = -1.0;
   double FunctionalSeconds = 0.0;
   std::uint64_t Instructions = 0;
+  std::string ServiceJson = "null";
   std::vector<std::string> DaeVerifyEntries;
   std::vector<std::string> DaePgEntries;
   std::vector<std::string> ContentionEntries;

@@ -1,0 +1,84 @@
+//===- bench/ServeUtil.h - Shared --serve entry point -----------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one `--serve` implementation every suite driver shares: wire the
+/// parsed BenchOptions into an ExperimentService + Server pair, publish the
+/// daemon's counters through the driver's ThroughputReporter after every
+/// request (so `BENCH_<name>.json` is a live dashboard with status
+/// "serving"), and block until a client sends {"op": "shutdown"}.
+///
+/// Usage, first thing in a driver's main after BenchOptions::parse:
+///
+///   if (Opts.Serve)
+///     return dae::bench::serveMain(Opts, "fig3");
+///
+/// Every driver exposes the *same* daemon (requests name their workload, so
+/// there is nothing driver-specific to serve); repeating the entry point per
+/// driver just means any already-built bench binary can host the service.
+/// The standalone `daecc-serve` binary is this function behind a plain main.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_BENCH_SERVEUTIL_H
+#define DAECC_BENCH_SERVEUTIL_H
+
+#include "BenchUtil.h"
+#include "service/ExperimentService.h"
+#include "service/Server.h"
+
+#include <cstdio>
+
+namespace dae {
+namespace bench {
+
+/// Runs the experiment daemon on O.SocketPath until shut down. Returns the
+/// process exit code: 0 after a clean shutdown request, 2 when the socket
+/// cannot be set up (configuration error, same class as a bad flag).
+inline int serveMain(const BenchOptions &O, const std::string &BenchName) {
+  service::ExperimentService::Config SC;
+  SC.CacheDir = O.CacheDir;
+  SC.Jobs = O.Jobs;
+  SC.SimThreads = O.SimThreads;
+  service::ExperimentService Svc(SC);
+
+  ThroughputReporter Reporter(BenchName + "_serve", O.SimThreads, O.Jobs);
+  Reporter.start();
+  Reporter.setBackend(O.Backend);
+  Reporter.setReplayOverlap(O.ReplayOverlap);
+
+  service::Server Srv(O.SocketPath,
+                      [&](const std::string &Line, unsigned ClientId,
+                          bool &Shutdown) {
+                        std::string Reply =
+                            Svc.handleLine(Line, ClientId, Shutdown);
+                        Reporter.checkpointService(Svc.statsJson());
+                        return Reply;
+                      });
+  std::string Err;
+  if (!Srv.start(Err)) {
+    std::fprintf(stderr, "daecc-serve: %s\n", Err.c_str());
+    return 2;
+  }
+  // CI and scripts wait for this exact line before connecting.
+  std::printf("[serve] %s: listening on %s (jobs=%u, sim-threads=%u, "
+              "cache-dir=%s)\n",
+              BenchName.c_str(), Srv.socketPath().c_str(), SC.Jobs,
+              SC.SimThreads,
+              Svc.cache().dir().empty() ? "<memory-only>"
+                                        : Svc.cache().dir().c_str());
+  std::fflush(stdout);
+  Srv.serve();
+  Reporter.checkpointService(Svc.statsJson());
+  std::printf("[serve] %s: shut down\n", BenchName.c_str());
+  Reporter.report();
+  return 0;
+}
+
+} // namespace bench
+} // namespace dae
+
+#endif // DAECC_BENCH_SERVEUTIL_H

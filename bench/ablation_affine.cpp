@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "ServeUtil.h"
 #include "dae/GenerationMemo.h"
 #include "harness/Harness.h"
 
@@ -37,6 +38,8 @@ struct Variant {
 
 int main(int Argc, char **Argv) {
   BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  if (Opts.Serve)
+    return serveMain(Opts, "ablation_affine");
   workloads::Scale S = Opts.Scale;
   sim::MachineConfig Cfg = Opts.machineConfig();
   unsigned Jobs = Opts.Jobs;

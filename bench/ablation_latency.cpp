@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "ServeUtil.h"
 #include "dae/GenerationMemo.h"
 #include "harness/Harness.h"
 #include "support/MathUtil.h"
@@ -27,6 +28,8 @@ using namespace dae::harness;
 
 int main(int Argc, char **Argv) {
   BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  if (Opts.Serve)
+    return serveMain(Opts, "ablation_latency");
   workloads::Scale S = Opts.Scale;
   sim::MachineConfig Cfg = Opts.machineConfig();
   unsigned Jobs = Opts.Jobs;

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "ServeUtil.h"
 #include "dae/GenerationMemo.h"
 #include "harness/Harness.h"
 
@@ -27,6 +28,8 @@ using namespace dae::harness;
 
 int main(int Argc, char **Argv) {
   BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  if (Opts.Serve)
+    return serveMain(Opts, "ablation_skeleton");
   workloads::Scale S = Opts.Scale;
   sim::MachineConfig Cfg = Opts.machineConfig();
   unsigned Jobs = Opts.Jobs;

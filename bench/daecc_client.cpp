@@ -1,0 +1,80 @@
+//===- bench/daecc_client.cpp - Experiment daemon client -------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line client for the experiment daemon: sends one request line
+/// per positional argument and prints each reply line to stdout. Arguments
+/// are either raw JSON objects (passed through verbatim) or the shorthands
+///
+///   stats                        -> {"op": "stats"}
+///   shutdown                     -> {"op": "shutdown"}
+///   <workload>                   -> {"op": "run", "workload": "..."}
+///
+/// plus `--socket=PATH` (default daecc.sock). Exit code: 0 when every reply
+/// had "ok": true, 1 when any reply was an error or the daemon was
+/// unreachable, 2 for a usage error. The CI smoke test drives its concurrent
+/// sweeps with exactly this binary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath = "daecc.sock";
+  std::vector<std::string> Lines;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--socket=", 9) == 0) {
+      if (!A[9]) {
+        std::fprintf(stderr, "error: --socket requires a path\n");
+        return 2;
+      }
+      SocketPath = A + 9;
+    } else if (std::strcmp(A, "stats") == 0) {
+      Lines.push_back("{\"op\": \"stats\"}");
+    } else if (std::strcmp(A, "shutdown") == 0) {
+      Lines.push_back("{\"op\": \"shutdown\"}");
+    } else if (A[0] == '{') {
+      Lines.push_back(A);
+    } else {
+      Lines.push_back(std::string("{\"op\": \"run\", \"workload\": \"") + A +
+                      "\"}");
+    }
+  }
+  if (Lines.empty()) {
+    std::fprintf(stderr,
+                 "usage: daecc-client [--socket=PATH] <request>...\n"
+                 "  <request>: a JSON object, a workload name, 'stats' or "
+                 "'shutdown'\n");
+    return 2;
+  }
+
+  dae::service::Client C;
+  std::string Err;
+  if (!C.connect(SocketPath, Err)) {
+    std::fprintf(stderr, "daecc-client: %s\n", Err.c_str());
+    return 1;
+  }
+  int Rc = 0;
+  for (const std::string &Line : Lines) {
+    std::string Reply;
+    if (!C.request(Line, Reply)) {
+      std::fprintf(stderr, "daecc-client: connection lost\n");
+      return 1;
+    }
+    std::printf("%s\n", Reply.c_str());
+    // Cheap but sufficient: every reply the service emits starts with
+    // exactly {"ok": true or {"ok": false.
+    if (Reply.compare(0, 11, "{\"ok\": true") != 0)
+      Rc = 1;
+  }
+  return Rc;
+}

@@ -1,0 +1,29 @@
+//===- bench/daecc_serve.cpp - Standalone experiment daemon ----------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment daemon as its own binary: `daecc-serve` is exactly the
+/// `--serve` mode of the suite drivers (bench/ServeUtil.h) without the
+/// one-shot suite attached. Flags it shares with the drivers:
+///
+///   --socket=PATH       Unix socket to listen on (default daecc.sock)
+///   --cache-dir=PATH    persistent result cache (or DAECC_CACHE_DIR)
+///   --jobs=N            concurrent compute jobs
+///   --sim-threads=N     functional threads per job (pool-clamped)
+///
+/// Protocol and request schema: src/service/ExperimentService.h. Stop it
+/// with `daecc-client --socket=PATH shutdown` (or just kill it — the result
+/// cache and BENCH json are crash-safe by construction).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "ServeUtil.h"
+
+int main(int Argc, char **Argv) {
+  dae::bench::BenchOptions Opts = dae::bench::BenchOptions::parse(Argc, Argv);
+  return dae::bench::serveMain(Opts, "daecc_serve");
+}

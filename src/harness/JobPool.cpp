@@ -6,20 +6,19 @@
 
 #include "harness/JobPool.h"
 
+#include "support/EnvParse.h"
+
 #include <algorithm>
-#include <cstdlib>
 
 using namespace dae;
 using namespace dae::harness;
 
 unsigned JobPool::hostThreadBudget() {
-  if (const char *Env = std::getenv("DAECC_HOST_THREADS")) {
-    int V = std::atoi(Env);
-    if (V > 0)
-      return static_cast<unsigned>(V);
-  }
+  // Garbage DAECC_HOST_THREADS used to be silently ignored (atoi), quietly
+  // handing the sweep a different budget than it asked for; it is now the
+  // same exit-2 hard error as every other DAECC_* integer knob.
   unsigned HW = std::thread::hardware_concurrency();
-  return HW ? HW : 1;
+  return support::envUnsignedOr("DAECC_HOST_THREADS", HW ? HW : 1);
 }
 
 unsigned JobPool::effectiveSimThreads(unsigned Jobs, unsigned SimThreadsPerJob,
@@ -37,11 +36,11 @@ unsigned JobPool::effectiveSimThreads(unsigned Jobs, unsigned SimThreadsPerJob,
   return std::clamp(std::max(1u, Budget / Jobs), 1u, SimThreadsPerJob);
 }
 
-JobPool::JobPool(unsigned Jobs, unsigned SimThreadsPerJob)
+JobPool::JobPool(unsigned Jobs, unsigned SimThreadsPerJob, bool AlwaysThreaded)
     : NumJobs(std::max(1u, Jobs)),
       SimThreads(effectiveSimThreads(Jobs, SimThreadsPerJob,
                                      hostThreadBudget())) {
-  if (NumJobs > 1) {
+  if (NumJobs > 1 || AlwaysThreaded) {
     Workers.reserve(NumJobs);
     for (unsigned I = 0; I != NumJobs; ++I)
       Workers.emplace_back([this] { workerLoop(); });

@@ -1,0 +1,148 @@
+//===- service/ResultCache.cpp - Persistent result cache --------------------===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+#include "service/ResultPayload.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace dae;
+using namespace dae::service;
+
+ResultCache::ResultCache(std::string Dir, std::size_t MaxMemoryBytes)
+    : Dir(std::move(Dir)), MaxMemoryBytes(MaxMemoryBytes) {
+  if (this->Dir.empty())
+    return;
+  if (::mkdir(this->Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr,
+                 "daecc-serve: cannot create cache dir '%s' (%s); running "
+                 "without disk persistence\n",
+                 this->Dir.c_str(), std::strerror(errno));
+    this->Dir.clear();
+  }
+}
+
+std::string ResultCache::filePathFor(std::uint64_t Key) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "%016" PRIx64 ".res", Key);
+  return Dir + "/" + Name;
+}
+
+void ResultCache::insertMemoryLocked(std::uint64_t Key,
+                                     const std::string &Payload) {
+  auto It = Memory.find(Key);
+  if (It != Memory.end()) {
+    It->second.LastUse = ++LruTick;
+    return;
+  }
+  Entry E;
+  E.Payload = Payload;
+  E.LastUse = ++LruTick;
+  RetainedBytes += Payload.size();
+  Memory.emplace(Key, std::move(E));
+  while (RetainedBytes > MaxMemoryBytes && Memory.size() > 1) {
+    auto Victim = Memory.begin();
+    for (auto I = Memory.begin(); I != Memory.end(); ++I)
+      if (I->second.LastUse < Victim->second.LastUse)
+        Victim = I;
+    RetainedBytes -= Victim->second.Payload.size();
+    Memory.erase(Victim);
+    ++Counters.Evictions;
+  }
+}
+
+ResultCache::Source ResultCache::get(std::uint64_t Key, std::string &Payload) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Memory.find(Key);
+    if (It != Memory.end()) {
+      It->second.LastUse = ++LruTick;
+      Payload = It->second.Payload;
+      ++Counters.MemoryHits;
+      return Source::Memory;
+    }
+  }
+  if (Dir.empty()) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.Misses;
+    return Source::Miss;
+  }
+
+  // Disk probe outside the lock: file IO must not serialize memory hits.
+  std::string Path = filePathFor(Key);
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.Misses;
+    return Source::Miss;
+  }
+  // Header: "daecc1 <fnv hex> <bytes>\n" followed by exactly <bytes> of
+  // payload. Anything that does not check out is a corrupt entry: count it,
+  // drop the file, and report a miss so the service recomputes.
+  bool Corrupt = true;
+  std::uint64_t WantFnv = 0, WantBytes = 0;
+  if (std::fscanf(F, "daecc1 %" SCNx64 " %" SCNu64, &WantFnv, &WantBytes) ==
+          2 &&
+      std::fgetc(F) == '\n' && WantBytes < (std::uint64_t(1) << 32)) {
+    std::string Data(static_cast<std::size_t>(WantBytes), '\0');
+    if (std::fread(Data.data(), 1, Data.size(), F) == Data.size() &&
+        std::fgetc(F) == EOF && fnv1a(Data) == WantFnv) {
+      Payload = std::move(Data);
+      Corrupt = false;
+    }
+  }
+  std::fclose(F);
+  if (Corrupt) {
+    std::remove(Path.c_str());
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.CorruptEntries;
+    ++Counters.Misses;
+    return Source::Miss;
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  insertMemoryLocked(Key, Payload);
+  ++Counters.DiskHits;
+  return Source::Disk;
+}
+
+void ResultCache::put(std::uint64_t Key, const std::string &Payload) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    insertMemoryLocked(Key, Payload);
+  }
+  if (Dir.empty())
+    return;
+  std::string Path = filePathFor(Key);
+  char Suffix[32];
+  std::snprintf(Suffix, sizeof(Suffix), ".tmp.%ld",
+                static_cast<long>(::getpid()));
+  std::string Tmp = Path + Suffix;
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return;
+  bool Ok =
+      std::fprintf(F, "daecc1 %016" PRIx64 " %" PRIu64 "\n", fnv1a(Payload),
+                   static_cast<std::uint64_t>(Payload.size())) > 0 &&
+      std::fwrite(Payload.data(), 1, Payload.size(), F) == Payload.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (Ok)
+    std::rename(Tmp.c_str(), Path.c_str());
+  else
+    std::remove(Tmp.c_str());
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats S = Counters;
+  S.RetainedBytes = RetainedBytes;
+  return S;
+}

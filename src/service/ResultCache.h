@@ -1,0 +1,94 @@
+//===- service/ResultCache.h - Persistent result cache ----------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two-level content-addressed cache of serialized AppResult payloads
+/// (service/ResultPayload.h), keyed by the compute-request fingerprint
+/// (service/ExperimentService.h derives it with the same FNV-1a discipline
+/// as the native code cache):
+///
+///  * Memory level: payload strings under a retained-bytes LRU cap — the
+///    TracePool/GenerationMemo discipline, so a long-lived daemon's hot set
+///    stays resident without unbounded growth.
+///  * Disk level (optional, --cache-dir / DAECC_CACHE_DIR): one file per
+///    key, `<dir>/<16-hex-key>.res`, surviving daemon restarts. Files are
+///    published atomically (same-directory temp file + rename, the
+///    BENCH_*.json discipline) so a concurrent reader or a crash mid-write
+///    never leaves a half-entry under the final name.
+///
+/// Disk entries are self-verifying: a one-line header carries the payload's
+/// byte count and FNV-1a, checked on load. A truncated, tampered, or
+/// version-skewed file is counted as corrupt and treated as a miss — the
+/// service recomputes and rewrites it; corruption never aborts a request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_SERVICE_RESULTCACHE_H
+#define DAECC_SERVICE_RESULTCACHE_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dae {
+namespace service {
+
+class ResultCache {
+public:
+  /// Where a get() was satisfied from.
+  enum class Source { Miss, Memory, Disk };
+
+  struct Stats {
+    std::uint64_t MemoryHits = 0;
+    std::uint64_t DiskHits = 0;
+    std::uint64_t Misses = 0;
+    std::uint64_t CorruptEntries = 0; ///< Disk entries failing verification.
+    std::uint64_t Evictions = 0;      ///< Memory entries dropped by the cap.
+    std::uint64_t RetainedBytes = 0;  ///< Memory level, at stats() time.
+  };
+
+  /// \p Dir empty disables the disk level (memory-only). The directory is
+  /// created if missing; an uncreatable directory degrades to memory-only
+  /// with a warning rather than failing the daemon.
+  explicit ResultCache(std::string Dir,
+                       std::size_t MaxMemoryBytes = std::size_t(256) << 20);
+
+  /// Looks \p Key up in memory, then on disk (promoting a disk hit into
+  /// memory). Returns where the payload came from; Miss leaves \p Payload
+  /// untouched.
+  Source get(std::uint64_t Key, std::string &Payload);
+
+  /// Publishes \p Payload under \p Key in memory and (when enabled) on
+  /// disk. Disk write failures are non-fatal: the entry stays served from
+  /// memory.
+  void put(std::uint64_t Key, const std::string &Payload);
+
+  Stats stats() const;
+  const std::string &dir() const { return Dir; }
+
+private:
+  struct Entry {
+    std::string Payload;
+    std::uint64_t LastUse = 0;
+  };
+
+  std::string filePathFor(std::uint64_t Key) const;
+  void insertMemoryLocked(std::uint64_t Key, const std::string &Payload);
+
+  std::string Dir; ///< Empty => memory-only.
+  const std::size_t MaxMemoryBytes;
+  mutable std::mutex Mutex;
+  std::map<std::uint64_t, Entry> Memory;
+  std::size_t RetainedBytes = 0;
+  std::uint64_t LruTick = 0;
+  Stats Counters;
+};
+
+} // namespace service
+} // namespace dae
+
+#endif // DAECC_SERVICE_RESULTCACHE_H

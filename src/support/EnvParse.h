@@ -1,0 +1,84 @@
+//===- support/EnvParse.h - Validated environment parsing -------*- C++ -*-===//
+//
+// Part of daecc. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One validated parse for every DAECC_* environment knob. The contract is
+/// the one BenchOptions::parse and TracePool::maxTotalBytesFromEnv
+/// established: a value that is set but malformed is a hard configuration
+/// error (exit 2), never a silent fall-back to the default — a sweep that
+/// exported DAECC_JOBS=8x and silently ran sequentially would mislabel its
+/// own results. Unset variables return the caller's default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAECC_SUPPORT_ENVPARSE_H
+#define DAECC_SUPPORT_ENVPARSE_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dae {
+namespace support {
+
+/// Strict positive integer from the environment. Unset returns \p Default;
+/// garbage (non-numeric, trailing junk, zero, negative) exits 2 with a
+/// diagnostic naming the variable.
+inline unsigned envUnsignedOr(const char *Name, unsigned Default) {
+  const char *Env = std::getenv(Name);
+  if (!Env)
+    return Default;
+  char *End = nullptr;
+  long N = std::strtol(Env, &End, 10);
+  if (End == Env || *End != '\0' || N <= 0) {
+    std::fprintf(stderr,
+                 "error: invalid %s value '%s' (expected a positive "
+                 "integer)\n",
+                 Name, Env);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(N);
+}
+
+/// Strict boolean from the environment, accepting only "0" and "1". Unset
+/// returns \p Default; anything else ("true", "yes", "2", "") exits 2 — the
+/// historical `Env[0] == '1'` parse silently read DAECC_DAE_VERIFY=true as
+/// *off*, the exact inversion of what the user asked for.
+inline bool envBool01Or(const char *Name, bool Default) {
+  const char *Env = std::getenv(Name);
+  if (!Env)
+    return Default;
+  if (std::strcmp(Env, "0") == 0)
+    return false;
+  if (std::strcmp(Env, "1") == 0)
+    return true;
+  std::fprintf(stderr, "error: invalid %s value '%s' (expected 0 or 1)\n",
+               Name, Env);
+  std::exit(2);
+}
+
+/// Strict positive byte count from a MiB-denominated environment variable.
+/// Unset returns \p DefaultBytes; garbage exits 2.
+inline std::size_t envMiBOr(const char *Name, std::size_t DefaultBytes) {
+  const char *Env = std::getenv(Name);
+  if (!Env)
+    return DefaultBytes;
+  char *End = nullptr;
+  long Mb = std::strtol(Env, &End, 10);
+  if (End == Env || *End != '\0' || Mb <= 0) {
+    std::fprintf(stderr,
+                 "error: invalid %s value '%s' (expected a positive integer "
+                 "number of MiB)\n",
+                 Name, Env);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(Mb) << 20;
+}
+
+} // namespace support
+} // namespace dae
+
+#endif // DAECC_SUPPORT_ENVPARSE_H

@@ -255,4 +255,104 @@ TEST(BenchUtil, SimBackendFromNameIsStrict) {
   EXPECT_EQ(B, SimBackend::Native);
 }
 
+// --- Daemon-mode flags and the strict env integer parses ------------------
+
+TEST(BenchOptions, ServeFlagsParse) {
+  unsetenv("DAECC_CACHE_DIR");
+  BenchOptions O = parseOpts({"--serve", "--socket=/tmp/x.sock",
+                              "--cache-dir=/tmp/cache"});
+  EXPECT_TRUE(O.Serve);
+  EXPECT_EQ(O.SocketPath, "/tmp/x.sock");
+  EXPECT_EQ(O.CacheDir, "/tmp/cache");
+
+  BenchOptions D = parseOpts({});
+  EXPECT_FALSE(D.Serve);
+  EXPECT_EQ(D.SocketPath, "daecc.sock");
+  EXPECT_TRUE(D.CacheDir.empty());
+}
+
+TEST(BenchOptions, CacheDirEnvDefaultAndFlagOverride) {
+  setenv("DAECC_CACHE_DIR", "/tmp/from_env", 1);
+  EXPECT_EQ(parseOpts({}).CacheDir, "/tmp/from_env");
+  // Flag wins, and an explicitly empty flag re-disables the env default.
+  EXPECT_EQ(parseOpts({"--cache-dir=/tmp/flag"}).CacheDir, "/tmp/flag");
+  EXPECT_TRUE(parseOpts({"--cache-dir="}).CacheDir.empty());
+  unsetenv("DAECC_CACHE_DIR");
+}
+
+TEST(BenchUtilDeathTest, EmptySocketPathIsAHardError) {
+  EXPECT_EXIT(parseOpts({"--socket="}), ::testing::ExitedWithCode(2),
+              "--socket requires a path");
+}
+
+TEST(BenchUtilDeathTest, GarbageIntegerEnvIsAHardError) {
+  // These env knobs used to go through atoi (garbage read as 0, then
+  // silently clamped to 1): a sweep exporting DAECC_JOBS=8x would run
+  // sequentially while its labels claimed 8 jobs.
+  EXPECT_EXIT(
+      {
+        setenv("DAECC_JOBS", "8x", 1);
+        parseOpts({});
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(2), "invalid DAECC_JOBS value '8x'");
+  unsetenv("DAECC_JOBS");
+  EXPECT_EXIT(
+      {
+        setenv("DAECC_SIM_THREADS", "-3", 1);
+        parseOpts({});
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(2), "invalid DAECC_SIM_THREADS value '-3'");
+  unsetenv("DAECC_SIM_THREADS");
+  EXPECT_EXIT(
+      {
+        setenv("DAECC_REPLAY_OVERLAP", "yes", 1);
+        parseOpts({});
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(2),
+      "invalid DAECC_REPLAY_OVERLAP value 'yes' \\(expected 0 or 1\\)");
+  unsetenv("DAECC_REPLAY_OVERLAP");
+  EXPECT_EXIT(
+      {
+        setenv("DAECC_TEST_SCALE", "true", 1);
+        parseOpts({});
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(2), "invalid DAECC_TEST_SCALE value 'true'");
+  unsetenv("DAECC_TEST_SCALE");
+}
+
+TEST(BenchUtil, ValidIntegerEnvStillWorks) {
+  setenv("DAECC_JOBS", "4", 1);
+  setenv("DAECC_SIM_THREADS", "2", 1);
+  BenchOptions O = parseOpts({});
+  EXPECT_EQ(O.Jobs, 4u);
+  EXPECT_EQ(O.SimThreads, 2u);
+  unsetenv("DAECC_JOBS");
+  unsetenv("DAECC_SIM_THREADS");
+}
+
+TEST(BenchUtil, ReporterJsonIsPublishedAtomically) {
+  // checkpointService republishes BENCH_<name>.json via temp-file + rename;
+  // after it returns there must be a complete file and no lingering temp.
+  ThroughputReporter R("atomic_probe", 1, 1);
+  R.start();
+  R.checkpointService("{\"requests\": 1}");
+  std::FILE *F = std::fopen("BENCH_atomic_probe.json", "r");
+  ASSERT_NE(F, nullptr);
+  std::string Content;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Content.append(Buf, N);
+  std::fclose(F);
+  EXPECT_NE(Content.find("\"status\": \"serving\""), std::string::npos);
+  EXPECT_NE(Content.find("\"service\": {\"requests\": 1}"),
+            std::string::npos);
+  EXPECT_EQ(std::fopen("BENCH_atomic_probe.json.tmp", "r"), nullptr);
+  std::remove("BENCH_atomic_probe.json");
+}
+
 } // namespace

@@ -108,6 +108,60 @@ TEST(GenerationMemoTest, IrrelevantKnobsStillHit) {
   EXPECT_EQ(S.Misses, NumTasks);
 }
 
+TEST(GenerationMemoTest, CapEvictsLruEntriesAndCountsThem) {
+  // A cap far below one workload's footprint forces evictions while the
+  // sweep runs; results must stay bit-identical to the uncapped memo (an
+  // evicted entry is just a future miss, never wrong data).
+  GenerationMemo Capped(/*MaxRetainedBytes=*/1024);
+  GenerationMemo Uncapped;
+  auto W1 = workloads::buildLu(workloads::Scale::Test);
+  auto W2 = workloads::buildLu(workloads::Scale::Test);
+  std::vector<AccessPhaseResult> RC = genAll(Capped, *W1, W1->Opts);
+  std::vector<AccessPhaseResult> RU = genAll(Uncapped, *W2, W2->Opts);
+  ASSERT_EQ(RC.size(), RU.size());
+  for (std::size_t I = 0; I != RC.size(); ++I)
+    EXPECT_EQ(ir::printFunction(*RC[I].AccessFn),
+              ir::printFunction(*RU[I].AccessFn));
+
+  GenerationMemo::Stats S = Capped.stats();
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_LE(Capped.retainedBytes(), 1024u);
+  EXPECT_EQ(Uncapped.stats().Evictions, 0u);
+
+  // A second pass still works (mostly missing now — the entries were
+  // evicted), and stays identical.
+  auto W3 = workloads::buildLu(workloads::Scale::Test);
+  std::vector<AccessPhaseResult> R3 = genAll(Capped, *W3, W3->Opts);
+  for (std::size_t I = 0; I != R3.size(); ++I)
+    EXPECT_EQ(ir::printFunction(*R3[I].AccessFn),
+              ir::printFunction(*RU[I].AccessFn));
+}
+
+TEST(GenerationMemoTest, GenerousCapNeverEvicts) {
+  GenerationMemo Memo(/*MaxRetainedBytes=*/std::size_t(64) << 20);
+  auto W1 = workloads::buildLu(workloads::Scale::Test);
+  std::size_t NumTasks = genAll(Memo, *W1, W1->Opts).size();
+  auto W2 = workloads::buildLu(workloads::Scale::Test);
+  genAll(Memo, *W2, W2->Opts);
+  GenerationMemo::Stats S = Memo.stats();
+  EXPECT_EQ(S.Evictions, 0u);
+  EXPECT_EQ(S.Hits, NumTasks);
+  EXPECT_EQ(Memo.entryCount(), NumTasks);
+  EXPECT_GT(Memo.retainedBytes(), 0u);
+}
+
+TEST(GenerationMemoDeathTest, GarbageCapEnvIsAHardError) {
+  EXPECT_EXIT(
+      {
+        setenv("DAECC_MEMO_CAP_MB", "lots", 1);
+        GenerationMemo Memo;
+        (void)Memo.stats();
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(2), "invalid DAECC_MEMO_CAP_MB value 'lots'");
+  unsetenv("DAECC_MEMO_CAP_MB");
+}
+
 TEST(GenerationMemoTest, SkeletonTraceDrivesRelevance) {
   GenerationMemo Memo;
   auto W1 = workloads::buildByName("cg", workloads::Scale::Test);

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 
 using namespace dae::harness;
 
@@ -50,6 +52,46 @@ TEST(JobPoolTest, RunsSubmittedJobsToCompletion) {
   });
   Pool.wait();
   EXPECT_EQ(Count.load(), 36);
+}
+
+TEST(JobPoolTest, HostThreadBudgetHonorsValidEnv) {
+  setenv("DAECC_HOST_THREADS", "3", 1);
+  EXPECT_EQ(JobPool::hostThreadBudget(), 3u);
+  unsetenv("DAECC_HOST_THREADS");
+}
+
+TEST(JobPoolDeathTest, GarbageHostThreadsEnvIsAHardError) {
+  // atoi used to read DAECC_HOST_THREADS=8x as 8 and =x as 0 — a sweep that
+  // typo'd its budget silently ran with a different one. Now it is the same
+  // exit-2 contract as every DAECC_* integer knob.
+  for (const char *Bad : {"8x", "x", "", "-2", "0"}) {
+    EXPECT_EXIT(
+        {
+          setenv("DAECC_HOST_THREADS", Bad, 1);
+          (void)JobPool::hostThreadBudget();
+          std::exit(0);
+        },
+        ::testing::ExitedWithCode(2), "invalid DAECC_HOST_THREADS value")
+        << "value: '" << Bad << "'";
+  }
+  unsetenv("DAECC_HOST_THREADS");
+}
+
+TEST(JobPoolTest, AlwaysThreadedDrainsWithoutWait) {
+  // A long-lived service submits jobs but never calls wait(); with the
+  // default Jobs==1 inline drain those jobs would sit in the queue forever.
+  // AlwaysThreaded spawns the worker even at one job.
+  JobPool Pool(1, 1, /*AlwaysThreaded=*/true);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([&Count] { ++Count; });
+  for (int Spin = 0; Count.load() != 8 && Spin != 2000; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(Count.load(), 8);
+  // wait() still works on the threaded pool.
+  Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 9);
 }
 
 } // namespace
