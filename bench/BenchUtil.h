@@ -25,12 +25,17 @@
 #include "support/EnvParse.h"
 #include "workloads/Workload.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 namespace dae {
 namespace bench {
@@ -42,8 +47,10 @@ namespace bench {
 /// same contract via support::envUnsignedOr / envBool01Or.
 inline unsigned parseUnsignedFlag(const char *Flag, const char *Value) {
   char *End = nullptr;
-  long N = std::strtol(Value, &End, 10);
-  if (End == Value || *End != '\0' || N <= 0) {
+  errno = 0;
+  long long N = std::strtoll(Value, &End, 10);
+  if (End == Value || *End != '\0' || errno == ERANGE || N <= 0 ||
+      N > static_cast<long long>(std::numeric_limits<unsigned>::max())) {
     std::fprintf(stderr,
                  "error: invalid %s value '%s' (expected a positive "
                  "integer)\n",
@@ -467,7 +474,14 @@ inline std::uint64_t simInstructions(const runtime::RunProfile &P) {
 /// script polling a daemon's counters, or a dashboard tailing a long run —
 /// never observes a truncated or half-written object. The previous in-place
 /// fopen(..., "w") truncated first and wrote second, a window in which
-/// readers saw an empty or partial file.
+/// readers saw an empty or partial file. The temp name carries the pid so
+/// two processes publishing the same bench name from one directory cannot
+/// interleave their half-written temp files either.
+///
+/// Thread safety: in daemon mode checkpointService() is called from the
+/// server's concurrent per-connection handler threads, so every mutator and
+/// the JSON publication run under one internal mutex; checkpoints serialize
+/// rather than racing on the counters or the temp file.
 class ThroughputReporter {
 public:
   ThroughputReporter(std::string BenchName, unsigned SimThreads,
@@ -475,39 +489,59 @@ public:
       : Name(std::move(BenchName)), SimThreads(SimThreads), Jobs(Jobs) {}
 
   void start() {
+    std::lock_guard<std::mutex> Lock(Mu);
     Start = std::chrono::steady_clock::now();
     End = Start;
     writeJson("started");
   }
-  void stop() { End = std::chrono::steady_clock::now(); }
+  void stop() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    End = std::chrono::steady_clock::now();
+  }
   void add(const runtime::RunProfile &P) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Instructions += simInstructions(P);
     FunctionalSeconds += P.FunctionalSeconds;
   }
   /// Records a partial failure (e.g. one app's schemes disagreed). The JSON
   /// is still written; status becomes "partial".
-  void noteFailure() { ++Failures; }
+  void noteFailure() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Failures;
+  }
   /// Wall clock of a separately measured sequential (--jobs=1) run of the
   /// same suite, enabling the speedup_vs_jobs1 field.
-  void setBaseline(double Jobs1Seconds) { BaselineSeconds = Jobs1Seconds; }
+  void setBaseline(double Jobs1Seconds) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    BaselineSeconds = Jobs1Seconds;
+  }
 
   /// Records the run's effective replay-overlap setting for the
   /// replay_overlap JSON block.
-  void setReplayOverlap(bool Enabled) { ReplayOverlap = Enabled; }
+  void setReplayOverlap(bool Enabled) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ReplayOverlap = Enabled;
+  }
   /// Records the run's functional execution backend for the interp JSON
   /// block.
-  void setBackend(sim::SimBackend B) { Backend = B; }
+  void setBackend(sim::SimBackend B) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Backend = B;
+  }
   /// Wall clock of a separately measured --no-replay-overlap run of the same
   /// suite, enabling the replay_overlap speedup field.
   void setNoOverlapBaseline(double NoOverlapSecs) {
+    std::lock_guard<std::mutex> Lock(Mu);
     NoOverlapSeconds = NoOverlapSecs;
   }
 
   /// Daemon checkpoint: installs the service counters (a preformatted JSON
   /// object, see the schema above) and atomically republishes
   /// BENCH_<name>.json with status "serving". The daemon calls this after
-  /// every served request, so pollers always see current counters.
+  /// every served request — from whichever connection thread served it, so
+  /// the whole update-and-publish runs under the mutex.
   void checkpointService(const std::string &ServiceBlock) {
+    std::lock_guard<std::mutex> Lock(Mu);
     ServiceJson = ServiceBlock;
     End = std::chrono::steady_clock::now();
     writeJson(Failures == 0 ? "serving" : "partial");
@@ -532,8 +566,6 @@ public:
                 V.Diff.DecoupledTasks);
     for (const std::string &Viol : V.AuditViolations)
       std::printf("[dae-verify]   audit violation: %s\n", Viol.c_str());
-    if (!Pure)
-      noteFailure();
 
     char Buf[640];
     std::snprintf(
@@ -552,6 +584,9 @@ public:
         static_cast<unsigned long long>(V.Diff.PrefetchedLines),
         static_cast<unsigned long long>(V.Diff.UnusedPrefetchedLines),
         V.Diff.DecoupledTasks);
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Pure)
+      ++Failures;
     DaeVerifyEntries.push_back(Buf);
   }
 
@@ -576,8 +611,6 @@ public:
       std::printf("[dae-pg]   %s\n", A.c_str());
     for (const std::string &Viol : Pg.AuditViolations)
       std::printf("[dae-pg]   audit violation: %s\n", Viol.c_str());
-    if (!Pure)
-      noteFailure();
 
     std::string Actions;
     for (size_t I = 0; I != Pg.Actions.size(); ++I) {
@@ -598,6 +631,9 @@ public:
         Pg.After.strictCoverage(), Pg.Before.overshoot(),
         Pg.After.overshoot(), Pg.Before.coverage(), Pg.After.coverage(),
         Pg.EdpBefore, Pg.EdpAfter);
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Pure)
+      ++Failures;
     DaePgEntries.push_back(Buf);
   }
 
@@ -630,17 +666,20 @@ public:
         Norm(R.DaeMinMax.EdpJs), Norm(R.DaeOracle.EdpJs),
         R.DaeOracle.MakespanNs, QueueNs,
         static_cast<unsigned long long>(DramMisses));
+    std::lock_guard<std::mutex> Lock(Mu);
     ContentionEntries.push_back(Buf);
   }
 
   double seconds() const {
-    return std::chrono::duration<double>(End - Start).count();
+    std::lock_guard<std::mutex> Lock(Mu);
+    return secondsLocked();
   }
 
   /// Prints the throughput line and finalizes BENCH_<name>.json in the
   /// binary's working directory.
   void report() {
-    double Seconds = seconds();
+    std::lock_guard<std::mutex> Lock(Mu);
+    double Seconds = secondsLocked();
     double Ips = Seconds > 0.0 ? static_cast<double>(Instructions) / Seconds
                                : 0.0;
     std::printf("\n[throughput] %s: %llu simulated instructions in %.3f s "
@@ -663,8 +702,13 @@ public:
   }
 
 private:
+  double secondsLocked() const {
+    return std::chrono::duration<double>(End - Start).count();
+  }
+
+  /// Requires Mu held: reads every counter and owns the temp-file publish.
   void writeJson(const char *Status) {
-    double Seconds = seconds();
+    double Seconds = secondsLocked();
     double Ips = Seconds > 0.0 ? static_cast<double>(Instructions) / Seconds
                                : 0.0;
     double Speedup =
@@ -698,9 +742,10 @@ private:
     // Temp-file + rename publication: readers polling the file (daemon
     // dashboards, sweep scripts) must never see a truncated object. The temp
     // file lives in the same directory so the rename cannot cross a
-    // filesystem boundary.
+    // filesystem boundary, and carries the pid so two processes publishing
+    // the same bench name cannot write through each other's temp file.
     std::string Path = "BENCH_" + Name + ".json";
-    std::string Tmp = Path + ".tmp";
+    std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
     if (std::FILE *F = std::fopen(Tmp.c_str(), "w")) {
       std::fprintf(F,
                    "{\n"
@@ -745,6 +790,9 @@ private:
     }
   }
 
+  /// Serializes daemon checkpoints (concurrent connection threads) against
+  /// each other and against the one-shot mutators.
+  mutable std::mutex Mu;
   std::string Name;
   unsigned SimThreads;
   unsigned Jobs;

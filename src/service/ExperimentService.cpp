@@ -170,7 +170,7 @@ std::string service::parseRequest(const JsonValue &V, Request &Out) {
   return "";
 }
 
-std::uint64_t service::computeKeyOf(const Request &R) {
+std::string service::canonicalKeyOf(const Request &R) {
   // Canonical text form of the compute parameters only (see header). Absent
   // overrides serialize as absent, not as their defaults, so "no override"
   // and "override to the current default" share an entry only when they are
@@ -203,7 +203,7 @@ std::uint64_t service::computeKeyOf(const Request &R) {
     for (std::int64_t A : *R.RepresentativeArgs)
       K += std::to_string(A) + ",";
   }
-  return fnv1a(K);
+  return K;
 }
 
 ExperimentService::ExperimentService(Config Cin)
@@ -287,7 +287,7 @@ bool ExperimentService::obtainPayload(const Request &Req, unsigned ClientId,
                                       std::string &Payload,
                                       const char *&CacheTag,
                                       std::string &Error) {
-  const std::uint64_t Key = computeKeyOf(Req);
+  const std::string Key = canonicalKeyOf(Req);
   switch (Cache.get(Key, Payload)) {
   case ResultCache::Source::Memory:
     CacheTag = "memory";

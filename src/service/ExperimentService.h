@@ -26,8 +26,11 @@
 /// {"ok": false, "code": "bad_request", "error": ...} reply — the daemon
 /// never exits on a bad request.
 ///
-/// Cache key: the FNV-1a fingerprint of the *compute* parameters only —
-/// workload, scale, machine shape, generator-knob overrides, dae_verify.
+/// Cache key: the canonical string of the *compute* parameters only —
+/// workload, scale, machine shape, generator-knob overrides, dae_verify —
+/// compared in full on every lookup (its FNV-1a fingerprint only names the
+/// disk file, so a fingerprint collision degrades to a miss, never a wrong
+/// result).
 /// Pricing parameters (scheme/policy/transition_ns) are deliberately
 /// excluded: profiles are priced analytically per request (the paper's
 /// one-simulation-per-scheme methodology), so a policy sweep over one
@@ -95,9 +98,12 @@ struct Request {
 /// unknown key, ...).
 std::string parseRequest(const JsonValue &V, Request &Out);
 
-/// The compute-key fingerprint of \p R (see file comment for what is and is
-/// not included).
-std::uint64_t computeKeyOf(const Request &R);
+/// The canonical compute-key string of \p R (see file comment for what is
+/// and is not included). This full string — not its 64-bit fingerprint —
+/// identifies a cache entry and an in-flight compute, so two distinct
+/// requests whose fingerprints collide still never share a result; the
+/// FNV-1a fingerprint only names the disk file (ResultCache).
+std::string canonicalKeyOf(const Request &R);
 
 class ExperimentService {
 public:
@@ -137,7 +143,7 @@ private:
     std::string Error;
   };
   struct Pending {
-    std::uint64_t Key = 0;
+    std::string Key; ///< Canonical compute-key string.
     Request Req;
     std::shared_ptr<ComputeSlot> Slot;
   };
@@ -170,7 +176,9 @@ private:
   ResultCache Cache;
 
   mutable std::mutex M;
-  std::map<std::uint64_t, std::shared_ptr<ComputeSlot>> InFlight;
+  /// In-flight computes by canonical key string (not fingerprint — attach
+  /// must never coalesce two distinct requests across a hash collision).
+  std::map<std::string, std::shared_ptr<ComputeSlot>> InFlight;
   /// Per-client admission queues, swept round-robin by the runners.
   std::vector<std::pair<unsigned, std::deque<Pending>>> ClientQueues;
   std::size_t RrCursor = 0;

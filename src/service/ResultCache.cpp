@@ -31,15 +31,15 @@ ResultCache::ResultCache(std::string Dir, std::size_t MaxMemoryBytes)
   }
 }
 
-std::string ResultCache::filePathFor(std::uint64_t Key) const {
+std::string ResultCache::filePathFor(const std::string &CanonKey) const {
   char Name[32];
-  std::snprintf(Name, sizeof(Name), "%016" PRIx64 ".res", Key);
+  std::snprintf(Name, sizeof(Name), "%016" PRIx64 ".res", fnv1a(CanonKey));
   return Dir + "/" + Name;
 }
 
-void ResultCache::insertMemoryLocked(std::uint64_t Key,
+void ResultCache::insertMemoryLocked(const std::string &CanonKey,
                                      const std::string &Payload) {
-  auto It = Memory.find(Key);
+  auto It = Memory.find(CanonKey);
   if (It != Memory.end()) {
     It->second.LastUse = ++LruTick;
     return;
@@ -48,7 +48,7 @@ void ResultCache::insertMemoryLocked(std::uint64_t Key,
   E.Payload = Payload;
   E.LastUse = ++LruTick;
   RetainedBytes += Payload.size();
-  Memory.emplace(Key, std::move(E));
+  Memory.emplace(CanonKey, std::move(E));
   while (RetainedBytes > MaxMemoryBytes && Memory.size() > 1) {
     auto Victim = Memory.begin();
     for (auto I = Memory.begin(); I != Memory.end(); ++I)
@@ -60,10 +60,11 @@ void ResultCache::insertMemoryLocked(std::uint64_t Key,
   }
 }
 
-ResultCache::Source ResultCache::get(std::uint64_t Key, std::string &Payload) {
+ResultCache::Source ResultCache::get(const std::string &CanonKey,
+                                     std::string &Payload) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Memory.find(Key);
+    auto It = Memory.find(CanonKey);
     if (It != Memory.end()) {
       It->second.LastUse = ++LruTick;
       Payload = It->second.Payload;
@@ -78,26 +79,40 @@ ResultCache::Source ResultCache::get(std::uint64_t Key, std::string &Payload) {
   }
 
   // Disk probe outside the lock: file IO must not serialize memory hits.
-  std::string Path = filePathFor(Key);
+  std::string Path = filePathFor(CanonKey);
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Counters.Misses;
     return Source::Miss;
   }
-  // Header: "daecc1 <fnv hex> <bytes>\n" followed by exactly <bytes> of
-  // payload. Anything that does not check out is a corrupt entry: count it,
-  // drop the file, and report a miss so the service recomputes.
+  // Header: "daecc2 <key fnv hex> <payload fnv hex> <key bytes>
+  // <payload bytes>\n" followed by exactly that many key bytes then payload
+  // bytes. Anything that does not check out (including the old daecc1
+  // format, which stored no key) is a corrupt entry: count it, drop the
+  // file, and report a miss so the service recomputes. A checksum-clean
+  // entry whose stored key differs from the requested one is a 64-bit
+  // fingerprint collision: a plain miss — the entry is valid for *its*
+  // request and must never be served for this one.
   bool Corrupt = true;
-  std::uint64_t WantFnv = 0, WantBytes = 0;
-  if (std::fscanf(F, "daecc1 %" SCNx64 " %" SCNu64, &WantFnv, &WantBytes) ==
-          2 &&
-      std::fgetc(F) == '\n' && WantBytes < (std::uint64_t(1) << 32)) {
+  bool Collision = false;
+  std::uint64_t WantKeyFnv = 0, WantFnv = 0, KeyBytes = 0, WantBytes = 0;
+  if (std::fscanf(F, "daecc2 %" SCNx64 " %" SCNx64 " %" SCNu64 " %" SCNu64,
+                  &WantKeyFnv, &WantFnv, &KeyBytes, &WantBytes) == 4 &&
+      std::fgetc(F) == '\n' && KeyBytes < (std::uint64_t(1) << 20) &&
+      WantBytes < (std::uint64_t(1) << 32)) {
+    std::string StoredKey(static_cast<std::size_t>(KeyBytes), '\0');
     std::string Data(static_cast<std::size_t>(WantBytes), '\0');
-    if (std::fread(Data.data(), 1, Data.size(), F) == Data.size() &&
-        std::fgetc(F) == EOF && fnv1a(Data) == WantFnv) {
-      Payload = std::move(Data);
+    if (std::fread(StoredKey.data(), 1, StoredKey.size(), F) ==
+            StoredKey.size() &&
+        std::fread(Data.data(), 1, Data.size(), F) == Data.size() &&
+        std::fgetc(F) == EOF && fnv1a(StoredKey) == WantKeyFnv &&
+        fnv1a(Data) == WantFnv) {
       Corrupt = false;
+      if (StoredKey == CanonKey)
+        Payload = std::move(Data);
+      else
+        Collision = true;
     }
   }
   std::fclose(F);
@@ -108,20 +123,26 @@ ResultCache::Source ResultCache::get(std::uint64_t Key, std::string &Payload) {
     ++Counters.Misses;
     return Source::Miss;
   }
+  if (Collision) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.Misses;
+    return Source::Miss;
+  }
   std::lock_guard<std::mutex> Lock(Mutex);
-  insertMemoryLocked(Key, Payload);
+  insertMemoryLocked(CanonKey, Payload);
   ++Counters.DiskHits;
   return Source::Disk;
 }
 
-void ResultCache::put(std::uint64_t Key, const std::string &Payload) {
+void ResultCache::put(const std::string &CanonKey,
+                      const std::string &Payload) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    insertMemoryLocked(Key, Payload);
+    insertMemoryLocked(CanonKey, Payload);
   }
   if (Dir.empty())
     return;
-  std::string Path = filePathFor(Key);
+  std::string Path = filePathFor(CanonKey);
   char Suffix[32];
   std::snprintf(Suffix, sizeof(Suffix), ".tmp.%ld",
                 static_cast<long>(::getpid()));
@@ -130,8 +151,13 @@ void ResultCache::put(std::uint64_t Key, const std::string &Payload) {
   if (!F)
     return;
   bool Ok =
-      std::fprintf(F, "daecc1 %016" PRIx64 " %" PRIu64 "\n", fnv1a(Payload),
+      std::fprintf(F, "daecc2 %016" PRIx64 " %016" PRIx64 " %" PRIu64
+                      " %" PRIu64 "\n",
+                   fnv1a(CanonKey), fnv1a(Payload),
+                   static_cast<std::uint64_t>(CanonKey.size()),
                    static_cast<std::uint64_t>(Payload.size())) > 0 &&
+      std::fwrite(CanonKey.data(), 1, CanonKey.size(), F) ==
+          CanonKey.size() &&
       std::fwrite(Payload.data(), 1, Payload.size(), F) == Payload.size();
   Ok = std::fclose(F) == 0 && Ok;
   if (Ok)

@@ -6,23 +6,29 @@
 ///
 /// \file
 /// Two-level content-addressed cache of serialized AppResult payloads
-/// (service/ResultPayload.h), keyed by the compute-request fingerprint
-/// (service/ExperimentService.h derives it with the same FNV-1a discipline
-/// as the native code cache):
+/// (service/ResultPayload.h), keyed by the compute request's *canonical
+/// string* (service/ExperimentService.h derives it; its FNV-1a fingerprint
+/// — the native code cache's discipline — names the disk file):
 ///
 ///  * Memory level: payload strings under a retained-bytes LRU cap — the
 ///    TracePool/GenerationMemo discipline, so a long-lived daemon's hot set
-///    stays resident without unbounded growth.
+///    stays resident without unbounded growth. The map is keyed by the full
+///    canonical string, so two distinct requests can never alias an entry.
 ///  * Disk level (optional, --cache-dir / DAECC_CACHE_DIR): one file per
-///    key, `<dir>/<16-hex-key>.res`, surviving daemon restarts. Files are
-///    published atomically (same-directory temp file + rename, the
-///    BENCH_*.json discipline) so a concurrent reader or a crash mid-write
-///    never leaves a half-entry under the final name.
+///    key, `<dir>/<16-hex-fingerprint>.res`, surviving daemon restarts.
+///    Files are published atomically (same-directory temp file + rename,
+///    the BENCH_*.json discipline) so a concurrent reader or a crash
+///    mid-write never leaves a half-entry under the final name.
 ///
-/// Disk entries are self-verifying: a one-line header carries the payload's
-/// byte count and FNV-1a, checked on load. A truncated, tampered, or
-/// version-skewed file is counted as corrupt and treated as a miss — the
-/// service recomputes and rewrites it; corruption never aborts a request.
+/// Disk entries are self-verifying: a one-line header carries the canonical
+/// key's and payload's byte counts plus an FNV-1a over both, and the stored
+/// canonical key is compared against the requested one on load. A
+/// truncated, tampered, or version-skewed file is counted as corrupt and
+/// treated as a miss — the service recomputes and rewrites it; corruption
+/// never aborts a request. A well-formed entry whose stored key differs (a
+/// 64-bit fingerprint collision between two distinct requests) is simply a
+/// miss: the wrong result is never served, preserving the repo's
+/// determinism guarantee even across hash collisions.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,15 +63,15 @@ public:
   explicit ResultCache(std::string Dir,
                        std::size_t MaxMemoryBytes = std::size_t(256) << 20);
 
-  /// Looks \p Key up in memory, then on disk (promoting a disk hit into
-  /// memory). Returns where the payload came from; Miss leaves \p Payload
-  /// untouched.
-  Source get(std::uint64_t Key, std::string &Payload);
+  /// Looks the canonical key up in memory, then on disk (promoting a disk
+  /// hit into memory). Returns where the payload came from; Miss leaves
+  /// \p Payload untouched.
+  Source get(const std::string &CanonKey, std::string &Payload);
 
-  /// Publishes \p Payload under \p Key in memory and (when enabled) on
+  /// Publishes \p Payload under \p CanonKey in memory and (when enabled) on
   /// disk. Disk write failures are non-fatal: the entry stays served from
   /// memory.
-  void put(std::uint64_t Key, const std::string &Payload);
+  void put(const std::string &CanonKey, const std::string &Payload);
 
   Stats stats() const;
   const std::string &dir() const { return Dir; }
@@ -76,13 +82,14 @@ private:
     std::uint64_t LastUse = 0;
   };
 
-  std::string filePathFor(std::uint64_t Key) const;
-  void insertMemoryLocked(std::uint64_t Key, const std::string &Payload);
+  std::string filePathFor(const std::string &CanonKey) const;
+  void insertMemoryLocked(const std::string &CanonKey,
+                          const std::string &Payload);
 
   std::string Dir; ///< Empty => memory-only.
   const std::size_t MaxMemoryBytes;
   mutable std::mutex Mutex;
-  std::map<std::uint64_t, Entry> Memory;
+  std::map<std::string, Entry> Memory; ///< Keyed by full canonical string.
   std::size_t RetainedBytes = 0;
   std::uint64_t LruTick = 0;
   Stats Counters;

@@ -52,10 +52,26 @@ Server::Server(std::string SocketPath, Handler H)
 
 Server::~Server() {
   requestStop();
-  for (std::thread &T : Threads)
-    if (T.joinable())
-      T.join();
+  for (std::thread &T : takeAllThreads())
+    T.join();
   closeListenFd();
+}
+
+std::size_t Server::trackedThreads() {
+  std::lock_guard<std::mutex> Lock(ConnMutex);
+  return Threads.size() + DoneThreads.size();
+}
+
+std::vector<std::thread> Server::takeAllThreads() {
+  std::vector<std::thread> Out;
+  std::lock_guard<std::mutex> Lock(ConnMutex);
+  for (auto &[Id, T] : Threads)
+    Out.push_back(std::move(T));
+  Threads.clear();
+  for (std::thread &T : DoneThreads)
+    Out.push_back(std::move(T));
+  DoneThreads.clear();
+  return Out;
 }
 
 bool Server::start(std::string &Err) {
@@ -94,22 +110,28 @@ void Server::serve() {
         continue;
       break; // listening socket closed by requestStop()
     }
-    unsigned Id;
+    // Reap connections that finished since the last accept: each moved its
+    // handle into DoneThreads on exit, so these joins are instant and the
+    // handle count tracks open connections, not total ever accepted.
+    std::vector<std::thread> Finished;
     {
       std::lock_guard<std::mutex> Lock(ConnMutex);
-      Id = NextClientId++;
+      Finished.swap(DoneThreads);
+      unsigned Id = NextClientId++;
       OpenConns.push_back(Fd);
-      Threads.emplace_back([this, Fd, Id] { connectionLoop(Fd, Id); });
+      Threads.emplace(Id, std::thread([this, Fd, Id] {
+                        connectionLoop(Fd, Id);
+                      }));
     }
+    for (std::thread &T : Finished)
+      T.join();
   }
-  std::vector<std::thread> ToJoin;
   {
     std::lock_guard<std::mutex> Lock(ConnMutex);
     for (int Fd : OpenConns)
       ::shutdown(Fd, SHUT_RDWR);
-    ToJoin.swap(Threads);
   }
-  for (std::thread &T : ToJoin)
+  for (std::thread &T : takeAllThreads())
     T.join();
   {
     std::lock_guard<std::mutex> Lock(ConnMutex);
@@ -164,15 +186,26 @@ void Server::connectionLoop(int Fd, unsigned ClientId) {
     }
   }
 done:
-  ::close(Fd);
   {
     std::lock_guard<std::mutex> Lock(ConnMutex);
+    // Erase before close: once the fd is closed the kernel may recycle the
+    // number, and a concurrent requestStop() walking OpenConns must never
+    // shutdown() an unrelated descriptor that happens to reuse it.
     for (std::size_t I = 0; I != OpenConns.size(); ++I)
       if (OpenConns[I] == Fd) {
         OpenConns.erase(OpenConns.begin() + I);
         break;
       }
+    // Retire this connection's own handle for the accept loop to join; the
+    // shutdown drain may already have claimed it, in which case serve() is
+    // the joiner and there is nothing to move.
+    auto It = Threads.find(ClientId);
+    if (It != Threads.end()) {
+      DoneThreads.push_back(std::move(It->second));
+      Threads.erase(It);
+    }
   }
+  ::close(Fd);
   if (Shutdown)
     requestStop();
 }

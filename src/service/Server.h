@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -63,17 +64,32 @@ public:
 
   const std::string &socketPath() const { return SocketPath; }
 
+  /// Connection-thread handles currently tracked (live + finished awaiting
+  /// their join). Test visibility for the accept-loop reaping: an always-on
+  /// daemon must hold handles for open connections, not for every
+  /// connection ever accepted.
+  std::size_t trackedThreads();
+
 private:
   void connectionLoop(int Fd, unsigned ClientId);
   void closeListenFd();
+
+  /// Moves every live and finished connection-thread handle out of the
+  /// tracking containers (under ConnMutex) for the caller to join.
+  std::vector<std::thread> takeAllThreads();
 
   std::string SocketPath;
   Handler Handle;
   int ListenFd = -1;
   std::atomic<bool> Stop{false};
   std::mutex ConnMutex;
-  std::vector<int> OpenConns;      ///< Fds to shut down on stop.
-  std::vector<std::thread> Threads;
+  std::vector<int> OpenConns; ///< Fds to shut down on stop.
+  /// Live connection threads by client id. A connection moves its own
+  /// handle into DoneThreads when it finishes, and the accept loop joins
+  /// DoneThreads on every accept — an always-on daemon holds one handle per
+  /// *open* connection, not one per connection ever accepted.
+  std::map<unsigned, std::thread> Threads;
+  std::vector<std::thread> DoneThreads; ///< Finished, awaiting a cheap join.
   unsigned NextClientId = 0;
 };
 

@@ -17,23 +17,30 @@
 #ifndef DAECC_SUPPORT_ENVPARSE_H
 #define DAECC_SUPPORT_ENVPARSE_H
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace dae {
 namespace support {
 
 /// Strict positive integer from the environment. Unset returns \p Default;
-/// garbage (non-numeric, trailing junk, zero, negative) exits 2 with a
-/// diagnostic naming the variable.
+/// garbage (non-numeric, trailing junk, zero, negative, or out of range for
+/// unsigned — strtoll saturates on overflow, and a saturated or too-wide
+/// value truncated through the cast would silently misconfigure, e.g.
+/// DAECC_JOBS=4294967297 reading as 1) exits 2 with a diagnostic naming the
+/// variable.
 inline unsigned envUnsignedOr(const char *Name, unsigned Default) {
   const char *Env = std::getenv(Name);
   if (!Env)
     return Default;
   char *End = nullptr;
-  long N = std::strtol(Env, &End, 10);
-  if (End == Env || *End != '\0' || N <= 0) {
+  errno = 0;
+  long long N = std::strtoll(Env, &End, 10);
+  if (End == Env || *End != '\0' || errno == ERANGE || N <= 0 ||
+      N > static_cast<long long>(std::numeric_limits<unsigned>::max())) {
     std::fprintf(stderr,
                  "error: invalid %s value '%s' (expected a positive "
                  "integer)\n",
@@ -61,14 +68,18 @@ inline bool envBool01Or(const char *Name, bool Default) {
 }
 
 /// Strict positive byte count from a MiB-denominated environment variable.
-/// Unset returns \p DefaultBytes; garbage exits 2.
+/// Unset returns \p DefaultBytes; garbage exits 2, as does a count whose
+/// byte value would not fit std::size_t (the << 20 must not overflow).
 inline std::size_t envMiBOr(const char *Name, std::size_t DefaultBytes) {
   const char *Env = std::getenv(Name);
   if (!Env)
     return DefaultBytes;
   char *End = nullptr;
-  long Mb = std::strtol(Env, &End, 10);
-  if (End == Env || *End != '\0' || Mb <= 0) {
+  errno = 0;
+  long long Mb = std::strtoll(Env, &End, 10);
+  if (End == Env || *End != '\0' || errno == ERANGE || Mb <= 0 ||
+      static_cast<unsigned long long>(Mb) >
+          (std::numeric_limits<std::size_t>::max() >> 20)) {
     std::fprintf(stderr,
                  "error: invalid %s value '%s' (expected a positive integer "
                  "number of MiB)\n",

@@ -19,7 +19,10 @@
 #include <cstdlib>
 #include <initializer_list>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace dae;
 using namespace dae::bench;
@@ -324,6 +327,32 @@ TEST(BenchUtilDeathTest, GarbageIntegerEnvIsAHardError) {
   unsetenv("DAECC_TEST_SCALE");
 }
 
+TEST(BenchUtilDeathTest, OutOfRangeIntegerEnvIsAHardError) {
+  // strtol saturates on overflow and a too-wide value truncates through the
+  // unsigned cast: DAECC_JOBS=4294967297 (2^32+1) used to silently read as
+  // 1 — the exact silent-misconfiguration class the validated parse exists
+  // to reject. Both the fits-in-long-long-but-not-unsigned case and the
+  // saturating ERANGE case must exit 2.
+  EXPECT_EXIT(
+      {
+        setenv("DAECC_JOBS", "4294967297", 1);
+        parseOpts({});
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(2), "invalid DAECC_JOBS value '4294967297'");
+  unsetenv("DAECC_JOBS");
+  EXPECT_EXIT(
+      {
+        setenv("DAECC_SIM_THREADS", "99999999999999999999999", 1);
+        parseOpts({});
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(2), "invalid DAECC_SIM_THREADS value");
+  unsetenv("DAECC_SIM_THREADS");
+  EXPECT_EXIT(parseOpts({"--jobs=4294967297"}), ::testing::ExitedWithCode(2),
+              "invalid --jobs value '4294967297'");
+}
+
 TEST(BenchUtil, ValidIntegerEnvStillWorks) {
   setenv("DAECC_JOBS", "4", 1);
   setenv("DAECC_SIM_THREADS", "2", 1);
@@ -351,8 +380,43 @@ TEST(BenchUtil, ReporterJsonIsPublishedAtomically) {
   EXPECT_NE(Content.find("\"status\": \"serving\""), std::string::npos);
   EXPECT_NE(Content.find("\"service\": {\"requests\": 1}"),
             std::string::npos);
-  EXPECT_EQ(std::fopen("BENCH_atomic_probe.json.tmp", "r"), nullptr);
+  std::string Tmp =
+      "BENCH_atomic_probe.json.tmp." + std::to_string(::getpid());
+  EXPECT_EQ(std::fopen(Tmp.c_str(), "r"), nullptr);
   std::remove("BENCH_atomic_probe.json");
+}
+
+TEST(BenchUtil, ConcurrentCheckpointsPublishCompleteJson) {
+  // In daemon mode checkpointService is called from concurrent connection
+  // threads; the reporter serializes them internally, so however the racing
+  // checkpoints interleave, the published file is always one complete JSON
+  // object and no temp file lingers.
+  ThroughputReporter R("concurrent_probe", 1, 1);
+  R.start();
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != 4; ++T)
+    Ts.emplace_back([&R, T] {
+      for (int I = 0; I != 25; ++I)
+        R.checkpointService("{\"requests\": " +
+                            std::to_string(T * 100 + I) + "}");
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  std::FILE *F = std::fopen("BENCH_concurrent_probe.json", "r");
+  ASSERT_NE(F, nullptr);
+  std::string Content;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Content.append(Buf, N);
+  std::fclose(F);
+  EXPECT_NE(Content.find("\"status\": \"serving\""), std::string::npos);
+  EXPECT_NE(Content.find("\"service\": {\"requests\": "), std::string::npos);
+  EXPECT_EQ(Content.rfind("}\n"), Content.size() - 2);
+  std::string Tmp =
+      "BENCH_concurrent_probe.json.tmp." + std::to_string(::getpid());
+  EXPECT_EQ(std::fopen(Tmp.c_str(), "r"), nullptr);
+  std::remove("BENCH_concurrent_probe.json");
 }
 
 } // namespace

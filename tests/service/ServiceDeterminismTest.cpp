@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
@@ -279,6 +280,76 @@ TEST(ServiceDeterminismTest, DiskCacheSurvivesRestartAndCorruption) {
   }
 }
 
+std::string entryPathFor(const std::string &Dir, const std::string &Key) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "%016llx.res",
+                static_cast<unsigned long long>(fnv1a(Key)));
+  return Dir + "/" + Name;
+}
+
+// A 64-bit fingerprint collision between two distinct canonical keys must
+// degrade to a miss, never serve the other request's bit-exact-looking
+// payload. Simulated by copying key A's valid, checksummed disk entry onto
+// the path key B's fingerprint would name: the stored canonical key no
+// longer matches the lookup, so B misses while A still hits.
+TEST(ServiceDeterminismTest, FingerprintCollisionIsAMissNotAWrongResult) {
+  TempDir Dir("svc_coll");
+  const std::string KeyA = "daecc-compute 1|lu|test|cores=1";
+  const std::string KeyB = "daecc-compute 1|fft|test|cores=2";
+  const std::string PayloadA = "payload-for-A";
+  {
+    ResultCache C(Dir.str());
+    C.put(KeyA, PayloadA);
+  }
+  std::filesystem::copy_file(entryPathFor(Dir.str(), KeyA),
+                             entryPathFor(Dir.str(), KeyB));
+
+  ResultCache C(Dir.str());
+  std::string P;
+  EXPECT_EQ(C.get(KeyB, P), ResultCache::Source::Miss);
+  EXPECT_TRUE(P.empty());
+  // A collision is not corruption: the entry is valid for *its* key, stays
+  // on disk, and key A still hits it.
+  EXPECT_EQ(C.stats().CorruptEntries, 0u);
+  EXPECT_EQ(C.get(KeyA, P), ResultCache::Source::Disk);
+  EXPECT_EQ(P, PayloadA);
+  // The promoted memory entry is keyed by the full canonical string too:
+  // B still misses after A's promotion.
+  P.clear();
+  EXPECT_EQ(C.get(KeyB, P), ResultCache::Source::Miss);
+  EXPECT_TRUE(P.empty());
+}
+
+// Entries from the keyless daecc1 format (or any other version skew) are
+// corrupt, not servable: counted, removed, and recomputed — never trusted
+// without a canonical-key comparison.
+TEST(ServiceDeterminismTest, StaleFormatEntryIsCorruptNotServed) {
+  TempDir Dir("svc_stale");
+  const std::string Key = "daecc-compute 1|lu|test|cores=1";
+  std::filesystem::create_directories(Dir.str());
+  const std::string Path = entryPathFor(Dir.str(), Key);
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(F, nullptr);
+    const std::string Old = "old-format-payload";
+    std::fprintf(F, "daecc1 %016llx %llu\n",
+                 static_cast<unsigned long long>(fnv1a(Old)),
+                 static_cast<unsigned long long>(Old.size()));
+    std::fwrite(Old.data(), 1, Old.size(), F);
+    std::fclose(F);
+  }
+  ResultCache C(Dir.str());
+  std::string P;
+  EXPECT_EQ(C.get(Key, P), ResultCache::Source::Miss);
+  EXPECT_EQ(C.stats().CorruptEntries, 1u);
+  EXPECT_FALSE(std::filesystem::exists(Path));
+  // Rewriting under the current format round-trips.
+  C.put(Key, "fresh");
+  ResultCache C2(Dir.str());
+  EXPECT_EQ(C2.get(Key, P), ResultCache::Source::Disk);
+  EXPECT_EQ(P, "fresh");
+}
+
 // Every CLI exit-2 class error is a structured reply, and the daemon keeps
 // serving afterwards.
 TEST(ServiceDeterminismTest, MalformedRequestsGetStructuredErrors) {
@@ -382,6 +453,46 @@ TEST(ServiceDeterminismTest, ConcurrentIdenticalRequestsShareTheCompute) {
   EXPECT_EQ(Stats.get("service")->get("misses")->Num +
                 Stats.get("service")->get("memory_hits")->Num,
             4.0);
+}
+
+// A long-lived daemon must not hold one thread handle per connection ever
+// accepted: finished connections retire their handle and the accept loop
+// reaps it, so the tracked set converges to the open connections.
+TEST(ServiceDeterminismTest, FinishedConnectionThreadsAreReaped) {
+  TempDir Dir("svc_reap");
+  std::filesystem::create_directories(Dir.str());
+  std::string Sock = Dir.str() + "/r.sock";
+  Server Srv(Sock, [](const std::string &Line, unsigned, bool &) {
+    return Line; // echo — the transport is what is under test
+  });
+  std::string Err;
+  ASSERT_TRUE(Srv.start(Err)) << Err;
+  std::thread ServeThread([&] { Srv.serve(); });
+
+  for (int I = 0; I != 8; ++I) {
+    Client C;
+    ASSERT_TRUE(C.connect(Sock, Err)) << Err;
+    std::string Reply;
+    ASSERT_TRUE(C.request("ping", Reply));
+    EXPECT_EQ(Reply, "ping");
+  }
+  // Reaping happens on accept, and a just-closed connection's thread may
+  // not have retired its handle yet — poke the accept loop until the
+  // tracked set shrinks to at most the poking connection plus a straggler.
+  std::size_t Tracked = 1000;
+  for (int Tries = 0; Tries != 100 && Tracked > 2; ++Tries) {
+    Client C;
+    ASSERT_TRUE(C.connect(Sock, Err)) << Err;
+    std::string Reply;
+    ASSERT_TRUE(C.request("ping", Reply));
+    C.close();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Tracked = Srv.trackedThreads();
+  }
+  EXPECT_LE(Tracked, 2u);
+  Srv.requestStop();
+  ServeThread.join();
+  EXPECT_EQ(Srv.trackedThreads(), 0u);
 }
 
 // Full transport round trip: daemon on a Unix socket, two clients, repeat
